@@ -1,0 +1,110 @@
+(* Benchmark harness.
+
+   Two parts:
+
+   1. Bechamel micro-benchmarks of the toolchain itself — one
+      Test.make per pipeline stage and one per paper table/figure
+      (each staged function regenerates that artifact for a fast
+      benchmark, md5, so timings stay in the milliseconds range).
+
+   2. The full evaluation reproduction: every table and figure of the
+      paper regenerated over all eight benchmarks, printed in order.
+      This is the part EXPERIMENTS.md's numbers come from; it is also
+      available selectively via `dune exec bin/experiments.exe`. *)
+
+open Bechamel
+open Toolkit
+
+let md5_workload = Workloads.Registry.find "md5"
+
+(* Shared pipeline state for the staged functions (computed once). *)
+let md5_prog =
+  Minic.Typecheck.parse_and_check ~file:"md5"
+    md5_workload.Workloads.Workload.source
+
+let md5_lid = List.hd md5_prog.Minic.Ast.parallel_loops
+let md5_analysis = Privatize.Analyze.analyze md5_prog md5_lid
+
+let stage_tests =
+  [
+    Test.make ~name:"stage:parse+check"
+      (Staged.stage (fun () ->
+           ignore
+             (Minic.Typecheck.parse_and_check ~file:"md5"
+                md5_workload.Workloads.Workload.source)));
+    Test.make ~name:"stage:profile-deps"
+      (Staged.stage (fun () ->
+           ignore (Depgraph.Profiler.profile md5_prog md5_lid)));
+    Test.make ~name:"stage:classify"
+      (Staged.stage (fun () ->
+           ignore
+             (Privatize.Classify.classify
+                md5_analysis.Privatize.Analyze.profile.Depgraph.Profiler.graph)));
+    Test.make ~name:"stage:alias-analysis"
+      (Staged.stage (fun () -> ignore (Alias.Andersen.analyze md5_prog)));
+    Test.make ~name:"stage:expand"
+      (Staged.stage (fun () ->
+           ignore (Expand.Transform.expand md5_prog md5_analysis)));
+    Test.make ~name:"stage:expand-unoptimized"
+      (Staged.stage (fun () ->
+           ignore
+             (Expand.Transform.expand ~selective:false ~optimize:false
+                md5_prog md5_analysis)));
+    Test.make ~name:"stage:interpret-original"
+      (Staged.stage (fun () -> ignore (Interp.Machine.run_program md5_prog)));
+  ]
+
+(* One staged regeneration per paper artifact, on the fast benchmark. *)
+let artifact_tests =
+  let bench = Harness.Bench_run.load md5_workload in
+  let benches = [ bench ] in
+  List.map
+    (fun (name, thunk) ->
+      Test.make ~name:("artifact:" ^ name)
+        (Staged.stage (fun () -> ignore (thunk ()))))
+    (Harness.Figures.all benches)
+
+let benchmark tests =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~kde:(Some 50) ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Analyze.merge ols instances [ results ]
+
+let print_results results =
+  let window =
+    match Notty_unix.winsize Unix.stdout with
+    | Some (w, h) -> { Bechamel_notty.w; h }
+    | None -> { Bechamel_notty.w = 100; h = 1 }
+  in
+  let rect = window in
+  let results =
+    Bechamel_notty.Multiple.image_of_ols_results ~rect
+      ~predictor:Measure.run results
+  in
+  Notty_unix.eol results |> Notty_unix.output_image
+
+let () =
+  Bechamel_notty.Unit.add Instance.monotonic_clock
+    (Measure.unit Instance.monotonic_clock);
+  print_endline "== toolchain stage micro-benchmarks (bechamel) ==";
+  print_results
+    (benchmark (Test.make_grouped ~name:"stages" ~fmt:"%s %s" stage_tests));
+  print_endline "";
+  print_endline "== per-artifact regeneration timings on md5 (bechamel) ==";
+  print_results
+    (benchmark
+       (Test.make_grouped ~name:"artifacts" ~fmt:"%s %s" artifact_tests));
+  print_newline ();
+  print_endline "== full evaluation: all tables and figures, all benchmarks ==";
+  let benches = List.map Harness.Bench_run.load Workloads.Registry.all in
+  List.iter
+    (fun (name, thunk) ->
+      Printf.printf "\n--- %s ---\n%!" name;
+      print_string (thunk ()))
+    (Harness.Figures.all benches)

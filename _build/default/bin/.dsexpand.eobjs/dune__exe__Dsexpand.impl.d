@@ -1,0 +1,1 @@
+bin/dsexpand.ml: Arg Cmd Cmdliner Depgraph Expand Filename Interp List Minic Option Parexec Printf Privatize String Term Workloads

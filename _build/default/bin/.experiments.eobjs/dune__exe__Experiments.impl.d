@@ -1,0 +1,1 @@
+bin/experiments.ml: Array Harness List Printf String Sys Workloads

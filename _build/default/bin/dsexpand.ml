@@ -1,0 +1,191 @@
+(** dsexpand — the source-to-source data structure expansion tool.
+
+    Reads a MiniC file with [#pragma parallel] loop annotations (or a
+    bundled benchmark via --workload), and then, per the subcommand
+    flags:
+
+    - prints the profiled dependence graph (--dump-deps),
+    - prints the access-class classification (--report),
+    - prints the expanded program (default),
+    - runs original and expanded programs and checks equivalence
+      (--check), optionally simulating a parallel run (--threads N). *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+open Cmdliner
+
+let input_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "i"; "input" ] ~docv:"FILE" ~doc:"MiniC source file to process.")
+
+let workload_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "w"; "workload" ] ~docv:"NAME"
+        ~doc:
+          "Use a bundled benchmark program instead of a file (dijkstra, \
+           md5, mpeg2-encoder, mpeg2-decoder, h263-encoder, 256.bzip2, \
+           456.hmmer, 470.lbm).")
+
+let dump_deps_arg =
+  Arg.(value & flag & info [ "dump-deps" ] ~doc:"Print the dependence graph.")
+
+let report_arg =
+  Arg.(
+    value & flag
+    & info [ "report" ] ~doc:"Print the access-class classification.")
+
+let check_arg =
+  Arg.(
+    value & flag
+    & info [ "check" ]
+        ~doc:"Run original and expanded programs; verify equal output.")
+
+let threads_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "t"; "threads" ] ~docv:"N"
+        ~doc:"With --check: also simulate a parallel run on N threads.")
+
+let no_opt_arg =
+  Arg.(
+    value & flag
+    & info [ "no-optimize" ]
+        ~doc:"Disable the §3.4 span optimizations (Figure 9a mode).")
+
+let unselective_arg =
+  Arg.(
+    value & flag
+    & info [ "promote-all" ]
+        ~doc:"Promote every pointer instead of only aliases of expanded data.")
+
+let load_source input workload =
+  match (input, workload) with
+  | Some path, None -> (Filename.basename path, read_file path)
+  | None, Some name ->
+    let w = Workloads.Registry.find name in
+    (w.Workloads.Workload.name, w.Workloads.Workload.source)
+  | _ ->
+    prerr_endline "exactly one of --input or --workload is required";
+    exit 2
+
+let run input workload dump_deps report check threads no_opt unselective =
+  let file, src = load_source input workload in
+  let prog = Minic.Typecheck.parse_and_check ~file src in
+  let lids = prog.Minic.Ast.parallel_loops in
+  if lids = [] then begin
+    prerr_endline "no #pragma parallel loop found";
+    exit 1
+  end;
+  let analyses = List.map (Privatize.Analyze.analyze prog) lids in
+  if dump_deps then
+    List.iter
+      (fun (a : Privatize.Analyze.result) ->
+        print_string
+          (Depgraph.Graph.to_string
+             a.Privatize.Analyze.profile.Depgraph.Profiler.graph))
+      analyses
+  else if report then
+    List.iter
+      (fun (a : Privatize.Analyze.result) ->
+        let c = a.Privatize.Analyze.classification in
+        let g = c.Privatize.Classify.graph in
+        Printf.printf "loop %d in %s: %s\n" g.Depgraph.Graph.loop
+          a.Privatize.Analyze.loop_fun.Minic.Ast.fname
+          (match Privatize.Classify.parallelism_kind c with
+          | `Doall -> "DOALL"
+          | `Doacross -> "DOACROSS");
+        Printf.printf "  induction variables: %s\n"
+          (String.concat ", " a.Privatize.Analyze.induction_vars);
+        List.iter
+          (fun (cls, v, reason) ->
+            let texts =
+              List.filter_map
+                (fun aid ->
+                  Option.map
+                    (fun (s : Depgraph.Graph.site) ->
+                      Printf.sprintf "%s%s"
+                        (match s.Depgraph.Graph.s_kind with
+                        | Minic.Visit.Load -> ""
+                        | Minic.Visit.Store -> "=")
+                        s.Depgraph.Graph.s_text)
+                    (Depgraph.Graph.site g aid))
+                cls
+            in
+            Printf.printf "  class [%s] -> %s (%s)\n"
+              (String.concat "; " texts)
+              (Privatize.Classify.show_verdict v)
+              (Privatize.Classify.show_reason reason))
+          c.Privatize.Classify.classes;
+        let ordered = Privatize.Classify.ordered_channels c in
+        if ordered <> [] then begin
+          Printf.printf "  ordered channels:\n";
+          List.iter
+            (fun (aid, chan, w) ->
+              match Depgraph.Graph.site g aid with
+              | Some s ->
+                Printf.printf "    chan %d: %s%s\n" chan
+                  (if w then "store " else "load ")
+                  s.Depgraph.Graph.s_text
+              | None -> ())
+            ordered
+        end)
+      analyses
+  else begin
+    let res =
+      Expand.Transform.expand_loops ~selective:(not unselective)
+        ~optimize:(not no_opt) prog analyses
+    in
+    if check then begin
+      let code0, out0 = Interp.Machine.run_program prog in
+      let m = Interp.Machine.load res.Expand.Transform.transformed in
+      Interp.Machine.set_global_int m.Interp.Machine.st "__nthreads"
+        (max threads 1);
+      let code1 = Interp.Machine.run m in
+      let out1 = Interp.Machine.output m.Interp.Machine.st in
+      Printf.printf "privatized structures: %d\n"
+        res.Expand.Transform.privatized;
+      Printf.printf "sequential: exit %d/%d, output %s\n" code0 code1
+        (if String.equal out0 out1 then "identical" else "DIFFERS");
+      if threads > 1 then begin
+        let specs = List.map Parexec.Sim.spec_of_analysis analyses in
+        let seq = Parexec.Sim.run_sequential prog lids in
+        let pr =
+          Parexec.Sim.run_parallel res.Expand.Transform.transformed specs
+            ~threads
+        in
+        let ok = String.equal pr.Parexec.Sim.pr_output out0 in
+        let lsum l = List.fold_left (fun a (_, c) -> a + c) 0 l in
+        Printf.printf
+          "parallel T=%d: output %s, loop speedup %.2fx, total %.2fx\n"
+          threads
+          (if ok then "identical" else "DIFFERS")
+          (float_of_int (lsum seq.Parexec.Sim.sq_loop)
+          /. float_of_int (lsum pr.Parexec.Sim.pr_loop))
+          (float_of_int seq.Parexec.Sim.sq_total
+          /. float_of_int pr.Parexec.Sim.pr_total)
+      end;
+      if not (String.equal out0 out1) then exit 1
+    end
+    else
+      print_string
+        (Minic.Pretty.program_to_string res.Expand.Transform.transformed)
+  end
+
+let cmd =
+  let doc = "general data structure expansion for multi-threading" in
+  Cmd.v
+    (Cmd.info "dsexpand" ~doc)
+    Term.(
+      const run $ input_arg $ workload_arg $ dump_deps_arg $ report_arg
+      $ check_arg $ threads_arg $ no_opt_arg $ unselective_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,54 @@
+(** experiments — regenerate the paper's evaluation tables and figures.
+
+    Usage:
+      experiments                     run everything
+      experiments fig11 table5 ...    run selected artifacts
+      experiments --benchmark md5     restrict to one benchmark
+      experiments --list              list artifact names *)
+
+let known =
+  [
+    "table4"; "table5"; "fig8"; "fig9a"; "fig9b"; "fig10"; "fig11"; "fig12";
+    "fig13"; "fig14";
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  if List.mem "--list" args then begin
+    List.iter print_endline known;
+    exit 0
+  end;
+  let rec parse sel bench = function
+    | [] -> (sel, bench)
+    | "--benchmark" :: b :: rest | "-b" :: b :: rest -> parse sel (Some b) rest
+    | a :: rest when List.mem a known -> parse (a :: sel) bench rest
+    | a :: _ ->
+      Printf.eprintf "unknown argument '%s' (artifacts: %s)\n" a
+        (String.concat ", " known);
+      exit 2
+  in
+  let selected, bench_filter = parse [] None args in
+  let selected = if selected = [] then known else List.rev selected in
+  let workloads =
+    match bench_filter with
+    | None -> Workloads.Registry.all
+    | Some b -> [ Workloads.Registry.find b ]
+  in
+  Printf.printf "loading %d benchmark(s)...\n%!" (List.length workloads);
+  let benches =
+    List.map
+      (fun w ->
+        Printf.printf "  %s\n%!" w.Workloads.Workload.name;
+        Harness.Bench_run.load w)
+      workloads
+  in
+  let all = Harness.Figures.all benches in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name all with
+      | Some thunk ->
+        print_newline ();
+        print_string (thunk ());
+        print_newline ()
+      | None -> ())
+    selected

@@ -1,0 +1,1 @@
+examples/dependence_explorer.ml: Depgraph List Minic Option Printf Privatize String

@@ -1,0 +1,1 @@
+examples/dependence_explorer.mli:

@@ -1,0 +1,1 @@
+examples/paper_figures.ml: Depgraph Expand Interp List Minic Option Printf Privatize String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Expand Interp List Minic Parexec Printf Privatize String

@@ -1,0 +1,1 @@
+examples/shortest_paths.ml: Array Depgraph Expand List Minic Parexec Printf Privatize String Workloads

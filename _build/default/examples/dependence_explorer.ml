@@ -1,0 +1,102 @@
+(* Using the analysis layers directly, without transforming anything:
+   profile a loop, dump its dependence graph, and explain why each
+   access class is or is not privatizable — the workflow of Figure 7's
+   "inspect the program to verify the general validity of the graph".
+
+     dune exec examples/dependence_explorer.exe *)
+
+let source =
+  {|
+struct item { int key; struct item *next; };
+struct item *stack;
+int processed[32];
+int inorder;
+int main(void)
+{
+  int round;
+#pragma parallel
+  for (round = 0; round < 32; round++) {
+    // build a small work stack for this round
+    stack = 0;
+    int j;
+    for (j = 0; j < 5; j++) {
+      struct item *it = (struct item *)malloc(sizeof(struct item));
+      it->key = round * 5 + j;
+      it->next = stack;
+      stack = it;
+    }
+    // drain it
+    int sum = 0;
+    while (stack != 0) {
+      struct item *top = stack;
+      stack = stack->next;
+      sum += top->key % 7;
+      free(top);
+    }
+    processed[round] = sum;
+    inorder = inorder + sum;  // ordered accumulation
+  }
+  int t = 0;
+  int r;
+  for (r = 0; r < 32; r++) t += processed[r];
+  printf("%d %d\n", t, inorder);
+  return 0;
+}
+|}
+
+let () =
+  let prog = Minic.Typecheck.parse_and_check ~file:"explorer" source in
+  let lid = List.hd prog.Minic.Ast.parallel_loops in
+  let analysis = Privatize.Analyze.analyze prog lid in
+  let g = analysis.Privatize.Analyze.profile.Depgraph.Profiler.graph in
+
+  print_endline "== dependence graph (Definition 1) ==";
+  print_string (Depgraph.Graph.to_string g);
+
+  print_endline "\n== access classes and verdicts (Definitions 4-5) ==";
+  let c = analysis.Privatize.Analyze.classification in
+  List.iter
+    (fun (cls, verdict, reason) ->
+      let members =
+        List.filter_map
+          (fun aid ->
+            Option.map
+              (fun (s : Depgraph.Graph.site) ->
+                Printf.sprintf "%s%s"
+                  (match s.Depgraph.Graph.s_kind with
+                  | Minic.Visit.Store -> "write "
+                  | Minic.Visit.Load -> "read ")
+                  s.Depgraph.Graph.s_text)
+              (Depgraph.Graph.site g aid))
+          cls
+      in
+      if members <> [] then begin
+        Printf.printf "{%s}\n" (String.concat "; " members);
+        Printf.printf "  -> %s: %s\n"
+          (match verdict with
+          | Privatize.Classify.Private -> "PRIVATE"
+          | Privatize.Classify.Shared -> "SHARED"
+          | Privatize.Classify.Induction -> "INDUCTION")
+          (match reason with
+          | Privatize.Classify.Accepted ->
+            "no exposure, no carried flow, has carried anti/output"
+          | Privatize.Classify.Has_upwards_exposed _ ->
+            "reads a value defined before the loop"
+          | Privatize.Classify.Has_downwards_exposed _ ->
+            "its value is used after the loop"
+          | Privatize.Classify.Has_carried_flow _ ->
+            "a value genuinely flows between iterations"
+          | Privatize.Classify.No_carried_anti_or_output ->
+            "no contention to remove (already iteration-disjoint)")
+      end)
+    c.Privatize.Classify.classes;
+
+  print_endline "\n== induction variables (runtime-managed) ==";
+  List.iter
+    (fun v -> Printf.printf "  %s\n" v)
+    analysis.Privatize.Analyze.induction_vars;
+
+  Printf.printf "\nverdict: this loop is %s\n"
+    (match Privatize.Classify.parallelism_kind c with
+    | `Doall -> "DOALL after privatization"
+    | `Doacross -> "DOACROSS (ordered channels remain)")

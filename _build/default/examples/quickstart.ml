@@ -1,0 +1,91 @@
+(* Quickstart: privatize and parallelize a loop in five calls.
+
+   A histogram smoothing kernel reuses a global scratch buffer in every
+   iteration of its outer loop — a loop-carried anti/output dependence
+   that hides the parallelism. The pipeline below profiles the loop,
+   classifies its accesses, expands the scratch buffer per thread, and
+   simulates the parallel execution.
+
+     dune exec examples/quickstart.exe *)
+
+let source =
+  {|
+int input[64][128];
+int output[64];
+int scratch[128];
+
+int main(void)
+{
+  int row;
+  int i;
+  for (row = 0; row < 64; row++)
+    for (i = 0; i < 128; i++)
+      input[row][i] = (row * 131 + i * 17) % 255;
+
+#pragma parallel
+  for (row = 0; row < 64; row++) {
+    // smooth the row into the shared scratch buffer...
+    for (i = 0; i < 128; i++) {
+      int left = i > 0 ? input[row][i - 1] : input[row][i];
+      int right = i < 127 ? input[row][i + 1] : input[row][i];
+      scratch[i] = (left + 2 * input[row][i] + right) / 4;
+    }
+    // ...then reduce it into this row's slot
+    int sum = 0;
+    for (i = 0; i < 128; i++) sum += scratch[i];
+    output[row] = sum;
+  }
+
+  int check = 0;
+  for (row = 0; row < 64; row++) check ^= output[row] + row;
+  printf("checksum %d\n", check);
+  return 0;
+}
+|}
+
+let () =
+  (* 1. parse and type-check *)
+  let prog = Minic.Typecheck.parse_and_check ~file:"quickstart" source in
+  let lid = List.hd prog.Minic.Ast.parallel_loops in
+
+  (* 2. profile the loop's dependences and classify its accesses *)
+  let analysis = Privatize.Analyze.analyze prog lid in
+  let classification = analysis.Privatize.Analyze.classification in
+  Printf.printf "parallelism: %s\n"
+    (match Privatize.Classify.parallelism_kind classification with
+    | `Doall -> "DOALL (no cross-thread flow dependence remains)"
+    | `Doacross -> "DOACROSS (needs ordered sections)");
+
+  (* 3. expand: every structure touched by thread-private accesses is
+     replicated per thread, and accesses are redirected *)
+  let result = Expand.Transform.expand prog analysis in
+  Printf.printf "privatized data structures: %d\n\n"
+    result.Expand.Transform.privatized;
+  print_endline "transformed program:";
+  print_endline "--------------------";
+  print_string
+    (Minic.Pretty.program_to_string result.Expand.Transform.transformed);
+
+  (* 4. both programs behave identically... *)
+  let _, out_orig = Interp.Machine.run_program prog in
+  let m = Interp.Machine.load result.Expand.Transform.transformed in
+  Interp.Machine.set_global_int m.Interp.Machine.st "__nthreads" 4;
+  ignore (Interp.Machine.run m);
+  let out_exp = Interp.Machine.output m.Interp.Machine.st in
+  Printf.printf "\noriginal:  %sexpanded:  %s" out_orig out_exp;
+  assert (String.equal out_orig out_exp);
+
+  (* 5. ...and the expanded one parallelizes *)
+  let seq = Parexec.Sim.run_sequential prog [ lid ] in
+  let spec = Parexec.Sim.spec_of_analysis analysis in
+  List.iter
+    (fun threads ->
+      let pr =
+        Parexec.Sim.run_parallel result.Expand.Transform.transformed [ spec ]
+          ~threads
+      in
+      assert (String.equal pr.Parexec.Sim.pr_output out_orig);
+      Printf.printf "%d thread(s): loop speedup %.2fx\n" threads
+        (float_of_int (List.assoc lid seq.Parexec.Sim.sq_loop)
+        /. float_of_int (List.assoc lid pr.Parexec.Sim.pr_loop)))
+    [ 1; 2; 4; 8 ]

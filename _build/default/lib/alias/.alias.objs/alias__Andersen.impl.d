@@ -1,0 +1,1 @@
+lib/alias/andersen.pp.ml: Ast Hashtbl List Minic Option Ppx_deriving_runtime Printf Queue Set String Types

@@ -1,0 +1,1 @@
+lib/alias/andersen.pp.mli: Ast Format Hashtbl Minic Set

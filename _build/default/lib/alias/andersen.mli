@@ -1,0 +1,43 @@
+(** Andersen-style inclusion-based points-to analysis for MiniC.
+
+    Flow- and context-insensitive, field-insensitive (a struct object
+    is one abstract location). §3.4 of the paper uses alias analysis
+    for two things, both served here: finding every abstract object a
+    private access may touch (the expansion set) and finding which
+    pointers may point into it (selective promotion). *)
+
+open Minic
+
+type loc =
+  | LVar of string  (** "fn::x" for locals/formals, "x" for globals *)
+  | LAlloc of Ast.aid  (** malloc/calloc/realloc site, by result store *)
+  | LRet of string  (** return-value node of a function *)
+
+val pp_loc : Format.formatter -> loc -> unit
+val show_loc : loc -> string
+val equal_loc : loc -> loc -> bool
+val compare_loc : loc -> loc -> int
+
+module LocSet : Set.S with type elt = loc
+
+type result = {
+  pts : (loc, LocSet.t) Hashtbl.t;
+  allocs : (Ast.aid * string) list;  (** allocation site and callee name *)
+}
+
+val points_to : result -> loc -> LocSet.t
+
+(** Run the analysis over a whole type-checked program. *)
+val analyze : Ast.program -> result
+
+(** Pointer targets of an arbitrary expression of function [f],
+    evaluated against the solved graph. *)
+val targets_of_exp :
+  result -> Ast.program -> Ast.fundef -> Ast.exp -> LocSet.t
+
+(** Abstract objects an access to [lv] (in function [f]) may touch. *)
+val objects_of_lval :
+  result -> Ast.program -> Ast.fundef -> Ast.lval -> LocSet.t
+
+(** May [node] point to any location in [targets]? *)
+val may_point_into : result -> loc -> LocSet.t -> bool

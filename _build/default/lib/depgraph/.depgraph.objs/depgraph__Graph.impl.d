@@ -1,0 +1,1 @@
+lib/depgraph/graph.pp.ml: Ast Buffer Format Hashtbl List Minic Option Ppx_deriving_runtime Printf String Visit

@@ -1,0 +1,1 @@
+lib/depgraph/graph.pp.mli: Ast Format Hashtbl Minic Visit

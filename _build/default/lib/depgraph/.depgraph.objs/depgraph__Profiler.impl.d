@@ -1,0 +1,1 @@
+lib/depgraph/profiler.pp.ml: Ast Graph Hashtbl Interp List Minic Pretty Printf Visit

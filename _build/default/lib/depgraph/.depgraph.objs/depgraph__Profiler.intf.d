@@ -1,0 +1,1 @@
+lib/depgraph/profiler.pp.mli: Ast Graph Interp Minic

@@ -1,0 +1,134 @@
+(** Loop-level data dependence graphs (Definition 1 of the paper).
+
+    Vertices are the static memory-access sites of a loop (identified
+    by access id); edges record flow, anti- and output dependences,
+    each flagged loop-carried or loop-independent. The graph also
+    carries the two per-access properties of Definitions 2-3
+    (upwards-exposed loads, downwards-exposed stores) and the dynamic
+    access counts used by Figure 8. *)
+
+open Minic
+
+type dep_kind = Flow | Anti | Output [@@deriving show { with_path = false }, eq]
+
+type edge = {
+  e_src : Ast.aid;  (** earlier access (source of the dependence) *)
+  e_dst : Ast.aid;  (** later access (sink) *)
+  e_kind : dep_kind;
+  e_carried : bool;  (** loop-carried (vs. loop-independent) *)
+}
+[@@deriving show { with_path = false }, eq]
+
+(** One static access site of the loop. *)
+type site = {
+  s_aid : Ast.aid;
+  s_kind : Visit.access_kind;
+  s_text : string;  (** rendered lvalue, for reports *)
+}
+
+type t = {
+  loop : Ast.lid;
+  sites : site list;
+  edges : (edge, unit) Hashtbl.t;
+  upwards_exposed : (Ast.aid, unit) Hashtbl.t;
+  downwards_exposed : (Ast.aid, unit) Hashtbl.t;
+  dyn_counts : (Ast.aid, int) Hashtbl.t;
+      (** dynamic executions of each site inside the loop *)
+  mutable iterations : int;  (** total iterations over all invocations *)
+  mutable invocations : int;
+  mutable loop_cycles : int;  (** cycles spent inside the loop *)
+  mutable total_cycles : int;  (** cycles of the whole program run *)
+}
+
+let create (loop : Ast.lid) (sites : site list) : t =
+  {
+    loop;
+    sites;
+    edges = Hashtbl.create 64;
+    upwards_exposed = Hashtbl.create 16;
+    downwards_exposed = Hashtbl.create 16;
+    dyn_counts = Hashtbl.create 64;
+    iterations = 0;
+    invocations = 0;
+    loop_cycles = 0;
+    total_cycles = 0;
+  }
+
+let add_edge g ~src ~dst ~kind ~carried =
+  let e = { e_src = src; e_dst = dst; e_kind = kind; e_carried = carried } in
+  if not (Hashtbl.mem g.edges e) then Hashtbl.replace g.edges e ()
+
+let mark_upwards_exposed g aid = Hashtbl.replace g.upwards_exposed aid ()
+let mark_downwards_exposed g aid = Hashtbl.replace g.downwards_exposed aid ()
+
+let bump_count g aid =
+  Hashtbl.replace g.dyn_counts aid
+    (1 + Option.value ~default:0 (Hashtbl.find_opt g.dyn_counts aid))
+
+let edges g = Hashtbl.fold (fun e () acc -> e :: acc) g.edges []
+let is_upwards_exposed g aid = Hashtbl.mem g.upwards_exposed aid
+let is_downwards_exposed g aid = Hashtbl.mem g.downwards_exposed aid
+
+let dyn_count g aid = Option.value ~default:0 (Hashtbl.find_opt g.dyn_counts aid)
+
+(** Does [aid] participate (as source or sink) in any edge satisfying
+    the predicate? *)
+let involved_in g aid pred =
+  Hashtbl.fold
+    (fun e () acc -> acc || ((e.e_src = aid || e.e_dst = aid) && pred e))
+    g.edges false
+
+let in_carried_flow g aid =
+  involved_in g aid (fun e -> e.e_kind = Flow && e.e_carried)
+
+let in_carried_anti_or_output g aid =
+  involved_in g aid (fun e ->
+      e.e_carried && (e.e_kind = Anti || e.e_kind = Output))
+
+let in_any_carried g aid = involved_in g aid (fun e -> e.e_carried)
+
+(** Loop-independent dependences, the equivalence generator of
+    Definition 4. *)
+let independent_pairs g : (Ast.aid * Ast.aid) list =
+  Hashtbl.fold
+    (fun e () acc -> if e.e_carried then acc else (e.e_src, e.e_dst) :: acc)
+    g.edges []
+
+let site g aid = List.find_opt (fun s -> s.s_aid = aid) g.sites
+
+let pp_dep_kind fmt = function
+  | Flow -> Format.pp_print_string fmt "flow"
+  | Anti -> Format.pp_print_string fmt "anti"
+  | Output -> Format.pp_print_string fmt "output"
+
+(** Human-readable dump, used by the dsexpand CLI's --dump-deps. *)
+let to_string (g : t) : string =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "loop %d: %d sites, %d iterations over %d invocation(s)\n" g.loop
+       (List.length g.sites) g.iterations g.invocations);
+  List.iter
+    (fun s ->
+      let tags =
+        (if is_upwards_exposed g s.s_aid then [ "upwards-exposed" ] else [])
+        @
+        if is_downwards_exposed g s.s_aid then [ "downwards-exposed" ] else []
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  [%d] %s %s (%d dynamic)%s\n" s.s_aid
+           (match s.s_kind with Visit.Load -> "load " | Visit.Store -> "store")
+           s.s_text (dyn_count g s.s_aid)
+           (if tags = [] then "" else " " ^ String.concat ", " tags)))
+    g.sites;
+  let sorted =
+    List.sort compare
+      (List.map
+         (fun e ->
+           Printf.sprintf "  %d -> %d %s%s\n" e.e_src e.e_dst
+             (Format.asprintf "%a" pp_dep_kind e.e_kind)
+             (if e.e_carried then " (carried)" else ""))
+         (edges g))
+  in
+  List.iter (Buffer.add_string buf) sorted;
+  Buffer.contents buf

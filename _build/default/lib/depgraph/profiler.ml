@@ -1,0 +1,229 @@
+(** Dynamic data-dependence profiling.
+
+    The paper obtains its loop-level dependence graphs from off-line
+    profiling runs ([38,39] in its references) followed by manual
+    verification; this module plays that role. It executes the program
+    once under the interpreter's access observer and builds the exact
+    graph of Definition 1 at byte granularity:
+
+    - a read of a byte last written in the same iteration is a
+      loop-independent flow dependence; written in an earlier iteration,
+      a loop-carried one (the "covered by previous writes in the same
+      iteration" clause falls out of tracking the most recent write);
+    - a write over a byte read since its last write yields anti
+      dependences (carried iff the read was in an earlier iteration);
+    - a write over a previously written byte yields an output
+      dependence;
+    - a read with no in-loop write before it is upwards-exposed; a
+      value written in the loop and read after the loop exits marks its
+      writer downwards-exposed.
+
+    Byte granularity makes recasting idioms (bzip2's short/int [zptr])
+    profile correctly. *)
+
+open Minic
+
+(* Per-byte shadow state. [w_inv] is the loop invocation the write
+   belongs to (-1 = written outside the loop). [readers] are reads
+   since the last write, tagged with (aid, iteration, invocation). *)
+type byte_state = {
+  mutable w_aid : Ast.aid;  (** -1 when never written *)
+  mutable w_iter : int;
+  mutable w_inv : int;
+  mutable w_inloop : bool;
+  mutable readers : (Ast.aid * int * int) list;
+}
+
+type profile = {
+  graph : Graph.t;
+  stats : Interp.Machine.stats;  (** whole-program instruction counts *)
+  exit_code : int;
+  output : string;
+  peak_bytes : int;
+}
+
+(** Function names called within a statement. *)
+let calls_of_stmt (s : Ast.stmt) : string list =
+  let acc = ref [] in
+  ignore
+    (Visit.map_stmt
+       (fun s ->
+         (match s.Ast.skind with
+         | Ast.Scall (_, f, _) -> acc := f :: !acc
+         | _ -> ());
+         s)
+       s);
+  !acc
+
+(** Functions transitively reachable from calls inside [stmt]. *)
+let reachable_funs (prog : Ast.program) (stmt : Ast.stmt) : Ast.fundef list =
+  let seen = Hashtbl.create 8 in
+  let rec visit names =
+    List.iter
+      (fun name ->
+        if not (Hashtbl.mem seen name) then begin
+          Hashtbl.replace seen name ();
+          match Ast.find_fun prog name with
+          | Some f -> visit (calls_of_stmt f.Ast.fbody)
+          | None -> () (* builtin *)
+        end)
+      names
+  in
+  visit (calls_of_stmt stmt);
+  List.filter (fun f -> Hashtbl.mem seen f.Ast.fname) (Ast.functions prog)
+
+(** Static access sites of a loop: its body and condition (+ step for
+    for-loops; the for-init runs outside the iteration space), plus
+    the bodies of all functions transitively callable from the loop —
+    Definition 1's vertex set is "all memory accesses potentially
+    executed in the loop". *)
+let loop_sites (prog : Ast.program) (loop_stmt : Ast.stmt) : Graph.site list =
+  let of_access (a : Visit.access) =
+    {
+      Graph.s_aid = a.Visit.acc_aid;
+      s_kind = a.Visit.acc_kind;
+      s_text = Pretty.lval_text a.Visit.acc_lval;
+    }
+  in
+  let exp_accesses e =
+    List.rev (Visit.fold_exp_accesses (fun acc a -> a :: acc) [] e)
+  in
+  let direct =
+    match loop_stmt.Ast.skind with
+    | Ast.Swhile (_, c, body) -> exp_accesses c @ Visit.accesses_of_stmt body
+    | Ast.Sfor (_, _, c, step, body) ->
+      exp_accesses c @ Visit.accesses_of_stmt step
+      @ Visit.accesses_of_stmt body
+    | _ -> invalid_arg "loop_sites: not a loop"
+  in
+  let callee =
+    List.concat_map Visit.accesses_of_fun (reachable_funs prog loop_stmt)
+  in
+  List.map of_access (direct @ callee)
+
+(** Profile [lid] by running the whole program once. *)
+let profile (prog : Ast.program) (lid : Ast.lid) : profile =
+  let loop_stmt =
+    match Visit.find_loop_fun prog lid with
+    | Some (_, s) -> s
+    | None -> invalid_arg (Printf.sprintf "profile: no loop with id %d" lid)
+  in
+  let g = Graph.create lid (loop_sites prog loop_stmt) in
+  let site_aids = Hashtbl.create 64 in
+  List.iter (fun s -> Hashtbl.replace site_aids s.Graph.s_aid ()) g.Graph.sites;
+  let m = Interp.Machine.load prog in
+  let st = m.Interp.Machine.st in
+  let bytes : (int, byte_state) Hashtbl.t = Hashtbl.create (1 lsl 16) in
+  let get_byte addr =
+    match Hashtbl.find_opt bytes addr with
+    | Some b -> b
+    | None ->
+      let b =
+        { w_aid = -1; w_iter = 0; w_inv = -1; w_inloop = false; readers = [] }
+      in
+      Hashtbl.replace bytes addr b;
+      b
+  in
+  let in_loop = ref false in
+  let cur_iter = ref 0 in
+  let cur_inv = ref (-1) in
+  let enter_cycles = ref 0 in
+  let hook l ev =
+    if l = lid then
+      match ev with
+      | Interp.Machine.Enter ->
+        in_loop := true;
+        incr cur_inv;
+        cur_iter := 0;
+        g.Graph.invocations <- g.Graph.invocations + 1;
+        enter_cycles := st.Interp.Machine.cycles
+      | Interp.Machine.Iter i -> cur_iter := i
+      | Interp.Machine.Exit ->
+        in_loop := false;
+        (* the trailing Iter only ran the failing condition *)
+        g.Graph.iterations <- g.Graph.iterations + !cur_iter;
+        g.Graph.loop_cycles <-
+          g.Graph.loop_cycles + (st.Interp.Machine.cycles - !enter_cycles)
+  in
+  let observe aid kind addr size =
+    if !in_loop then begin
+      if Hashtbl.mem site_aids aid then Graph.bump_count g aid;
+      let iter = !cur_iter and inv = !cur_inv in
+      match kind with
+      | Visit.Load ->
+        for i = 0 to size - 1 do
+          let b = get_byte (addr + i) in
+          if b.w_aid >= 0 && b.w_inloop then begin
+            if b.w_inv = inv then
+              Graph.add_edge g ~src:b.w_aid ~dst:aid ~kind:Graph.Flow
+                ~carried:(b.w_iter < iter)
+            else begin
+              (* written by a previous invocation, read by this one:
+                 live-out of the loop and live-in to it *)
+              Graph.mark_downwards_exposed g b.w_aid;
+              Graph.mark_upwards_exposed g aid
+            end
+          end
+          else Graph.mark_upwards_exposed g aid;
+          b.readers <- (aid, iter, inv) :: b.readers
+        done
+      | Visit.Store ->
+        for i = 0 to size - 1 do
+          let b = get_byte (addr + i) in
+          if b.w_aid >= 0 && b.w_inloop && b.w_inv = inv then
+            Graph.add_edge g ~src:b.w_aid ~dst:aid ~kind:Graph.Output
+              ~carried:(b.w_iter < iter);
+          List.iter
+            (fun (raid, riter, rinv) ->
+              if rinv = inv && Hashtbl.mem site_aids raid then
+                Graph.add_edge g ~src:raid ~dst:aid ~kind:Graph.Anti
+                  ~carried:(riter < iter))
+            b.readers;
+          b.w_aid <- aid;
+          b.w_iter <- iter;
+          b.w_inv <- inv;
+          b.w_inloop <- true;
+          b.readers <- []
+        done
+    end
+    else begin
+      match kind with
+      | Visit.Load ->
+        for i = 0 to size - 1 do
+          match Hashtbl.find_opt bytes (addr + i) with
+          | Some b when b.w_aid >= 0 && b.w_inloop ->
+            Graph.mark_downwards_exposed g b.w_aid
+          | _ -> ()
+        done
+      | Visit.Store ->
+        for i = 0 to size - 1 do
+          match Hashtbl.find_opt bytes (addr + i) with
+          | Some b ->
+            b.w_aid <- -1;
+            b.w_inloop <- false;
+            b.readers <- []
+          | None -> ()
+        done
+    end
+  in
+  st.Interp.Machine.loop_hook <- Some hook;
+  st.Interp.Machine.observer <- Some observe;
+  (* a freed block's bytes carry no dependences into whatever is
+     allocated there next: a thread-safe allocator would hand parallel
+     threads distinct blocks (this is also what the paper's manual
+     graph verification discards) *)
+  st.Interp.Machine.free_hook <-
+    Some
+      (fun base size ->
+        for i = base to base + size - 1 do
+          Hashtbl.remove bytes i
+        done);
+  let exit_code = Interp.Machine.run m in
+  g.Graph.total_cycles <- st.Interp.Machine.cycles;
+  {
+    graph = g;
+    stats = st.Interp.Machine.stats;
+    exit_code;
+    output = Interp.Machine.output st;
+    peak_bytes = Interp.Memory.peak_bytes st.Interp.Machine.mem;
+  }

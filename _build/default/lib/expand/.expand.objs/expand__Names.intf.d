@@ -1,0 +1,1 @@
+lib/expand/names.mli:

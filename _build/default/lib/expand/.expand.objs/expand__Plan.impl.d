@@ -1,0 +1,1 @@
+lib/expand/plan.ml: Alias Ast Hashtbl List Minic Option Privatize String Typecheck Types Visit

@@ -1,0 +1,1 @@
+lib/expand/transform.ml: Alias Ast Depgraph Hashtbl List Loc Minic Names Optim Option Plan Pretty Printf Privatize String Typecheck Types Visit

@@ -1,0 +1,1 @@
+lib/expand/transform.mli: Ast Minic Optim Plan Privatize

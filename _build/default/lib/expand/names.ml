@@ -1,0 +1,21 @@
+(** Name mangling for the expansion transformation. All generated
+    names use the [__] prefix, which the MiniC frontend accepts but
+    the workloads never use themselves. *)
+
+let tid = "__tid"
+let nthreads = "__nthreads"
+let init_fun = "__exp_init"
+
+(** Pointer holder for an expanded variable [x] (Table 1's global
+    rule: [int a] becomes [int *pa = malloc(sizeof(int) * N)]). *)
+let exp_var x = "__exp_" ^ x
+
+(** Shadow span of a promoted pointer variable [p] (§3.3.1: the
+    [span] field of the fat pointer). *)
+let span_var p = "__span_" ^ p
+
+(** Shadow span field of a promoted struct field [f]. *)
+let span_field f = "__span_" ^ f
+
+(** Global carrying the span of function [f]'s returned pointer. *)
+let retspan f = "__retspan_" ^ f

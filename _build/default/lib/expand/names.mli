@@ -1,0 +1,29 @@
+(** Name mangling for the expansion transformation. All generated
+    names use the [__] prefix, which the MiniC frontend accepts but
+    the workloads never use themselves. *)
+
+(** Runtime globals the transformed program reads: the executing
+    thread's id (0 outside parallel loops) and the thread count (set
+    before [main]; defaults to 1). *)
+val tid : string
+
+val nthreads : string
+
+(** The synthetic initializer called first by [main]: allocates the
+    heap conversions of expanded globals and applies their
+    initializers to copy 0. *)
+val init_fun : string
+
+(** Pointer holder for an expanded variable [x] (Table 1's global
+    rule: [int a] becomes [int *pa = malloc(sizeof(int) * N)]). *)
+val exp_var : string -> string
+
+(** Shadow span of a promoted pointer variable [p] (§3.3.1: the
+    [span] field of the fat pointer). *)
+val span_var : string -> string
+
+(** Shadow span field of a promoted struct field [f]. *)
+val span_field : string -> string
+
+(** Global carrying the span of function [f]'s returned pointer. *)
+val retspan : string -> string

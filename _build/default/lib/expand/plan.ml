@@ -1,0 +1,386 @@
+(** Expansion planning: decide what gets expanded and what gets
+    promoted before any code is rewritten.
+
+    - The {e expansion set} is every abstract object (named variable or
+      heap allocation site) that some thread-private access may touch;
+      these are the data structures replicated per thread (Table 1).
+      Locals of functions called from the loop live on per-thread
+      stacks at run time and therefore need no expansion — unless an
+      ambiguous pointer mixes them with expandable objects, in which
+      case they are conservatively heap-converted and expanded too.
+    - The {e promotion set} is every pointer variable / struct field /
+      pointer array that may point into the expansion set; only those
+      carry a span (§3.4's selective promotion). With
+      [selective = false] every pointer in the program is promoted,
+      which is the unoptimized configuration of Figure 9a. *)
+
+open Minic
+
+type mode = Bonded | Interleaved
+
+type t = {
+  prog : Ast.program;  (** the copy being transformed *)
+  analyses : Privatize.Analyze.result list;
+  alias : Alias.Andersen.result;
+  mode : mode;
+  selective : bool;
+  loop_fns : string list;  (** functions containing target loops *)
+  expand_vars : (string, unit) Hashtbl.t;
+      (** qualified names: "x" for globals, "fn::x" for locals *)
+  expand_allocs : (Ast.aid, unit) Hashtbl.t;  (** malloc sites to scale by N *)
+  promoted_vars : (string, unit) Hashtbl.t;  (** qualified pointer vars *)
+  promoted_fields : (string * string, unit) Hashtbl.t;  (** (tag, field) *)
+  verdicts : (Ast.aid, Privatize.Classify.verdict) Hashtbl.t;
+      (** classification verdicts, extended with registrations for
+          generated span accesses *)
+  access_fun : (Ast.aid, string) Hashtbl.t;  (** access id -> function *)
+}
+
+let qualify (f : Ast.fundef) (x : string) : string =
+  if List.mem_assoc x f.Ast.fformals || List.mem_assoc x f.Ast.flocals then
+    f.Ast.fname ^ "::" ^ x
+  else x
+
+(** Split a qualified name back into (function option, variable). *)
+let unqualify (q : string) : string option * string =
+  match String.index_opt q ':' with
+  | Some i when i + 1 < String.length q && q.[i + 1] = ':' ->
+    (Some (String.sub q 0 i), String.sub q (i + 2) (String.length q - i - 2))
+  | _ -> (None, q)
+
+let copy_program (p : Ast.program) : Ast.program =
+  {
+    Ast.globals = p.Ast.globals;
+    comps = Hashtbl.copy p.Ast.comps;
+    parallel_loops = p.Ast.parallel_loops;
+    next_aid = p.Ast.next_aid;
+    next_lid = p.Ast.next_lid;
+    next_tmp = p.Ast.next_tmp;
+  }
+
+let loc_of_qvar (q : string) : Alias.Andersen.loc = Alias.Andersen.LVar q
+
+let is_expanded_loc plan (l : Alias.Andersen.loc) : bool =
+  match l with
+  | Alias.Andersen.LVar q -> Hashtbl.mem plan.expand_vars q
+  | Alias.Andersen.LAlloc aid -> Hashtbl.mem plan.expand_allocs aid
+  | Alias.Andersen.LRet _ -> false
+
+let expanded_loc_set plan : Alias.Andersen.LocSet.t =
+  let s = ref Alias.Andersen.LocSet.empty in
+  Hashtbl.iter
+    (fun q () ->
+      s := Alias.Andersen.LocSet.add (loc_of_qvar q) !s)
+    plan.expand_vars;
+  Hashtbl.iter
+    (fun aid () ->
+      s := Alias.Andersen.LocSet.add (Alias.Andersen.LAlloc aid) !s)
+    plan.expand_allocs;
+  !s
+
+let verdict plan aid : Privatize.Classify.verdict =
+  Option.value ~default:Privatize.Classify.Shared
+    (Hashtbl.find_opt plan.verdicts aid)
+
+(** Register the verdict of a generated access so that span shadows
+    are redirected exactly like the pointer accesses they mirror. *)
+let register_verdict plan aid v = Hashtbl.replace plan.verdicts aid v
+
+(* Index all accesses: aid -> owning function. *)
+let index_accesses (prog : Ast.program) : (Ast.aid, string) Hashtbl.t =
+  let tbl = Hashtbl.create 256 in
+  List.iter
+    (fun (f : Ast.fundef) ->
+      List.iter
+        (fun (a : Visit.access) ->
+          Hashtbl.replace tbl a.Visit.acc_aid f.Ast.fname)
+        (Visit.accesses_of_fun f))
+    (Ast.functions prog);
+  tbl
+
+(** Does the type contain a pointer anywhere (drives unselective
+    promotion)? *)
+let rec has_pointer comps (t : Types.ty) : bool =
+  match t with
+  | Types.Tptr _ -> true
+  | Types.Tarray (elt, _) -> has_pointer comps elt
+  | Types.Tstruct tag -> (
+    match Hashtbl.find_opt comps tag with
+    | Some c -> List.exists (fun (_, ft) -> has_pointer comps ft) c.Types.cfields
+    | None -> false)
+  | _ -> false
+
+let is_pointerish (t : Types.ty) : bool =
+  match t with
+  | Types.Tptr _ -> true
+  | Types.Tarray (Types.Tptr _, _) -> true
+  | _ -> false
+
+(** Merge per-loop verdicts: an access is private only if every loop
+    whose site set contains it judged it private (loops are usually
+    disjoint, but shared helper functions can appear in several). *)
+let merge_verdicts (analyses : Privatize.Analyze.result list) :
+    (Ast.aid, Privatize.Classify.verdict) Hashtbl.t =
+  let merged = Hashtbl.create 256 in
+  List.iter
+    (fun (a : Privatize.Analyze.result) ->
+      Hashtbl.iter
+        (fun aid v ->
+          let v' =
+            match (Hashtbl.find_opt merged aid, v) with
+            | None, v -> v
+            | Some Privatize.Classify.Shared, _ -> Privatize.Classify.Shared
+            | Some _, Privatize.Classify.Shared -> Privatize.Classify.Shared
+            | Some Privatize.Classify.Private, _ -> Privatize.Classify.Private
+            | Some Privatize.Classify.Induction, v -> v
+          in
+          Hashtbl.replace merged aid v')
+        a.Privatize.Analyze.classification.Privatize.Classify.verdicts)
+    analyses;
+  merged
+
+let make ~(mode : mode) ~(selective : bool) (orig : Ast.program)
+    (analyses : Privatize.Analyze.result list) : t =
+  let prog = copy_program orig in
+  let alias = Alias.Andersen.analyze prog in
+  let loop_fns =
+    List.sort_uniq compare
+      (List.map
+         (fun (a : Privatize.Analyze.result) ->
+           a.Privatize.Analyze.loop_fun.Ast.fname)
+         analyses)
+  in
+  let plan =
+    {
+      prog;
+      analyses;
+      alias;
+      mode;
+      selective;
+      loop_fns;
+      expand_vars = Hashtbl.create 16;
+      expand_allocs = Hashtbl.create 16;
+      promoted_vars = Hashtbl.create 16;
+      promoted_fields = Hashtbl.create 16;
+      verdicts = merge_verdicts analyses;
+      access_fun = index_accesses prog;
+    }
+  in
+  (* 1. Expansion set: objects of private accesses. *)
+  let lval_of_aid = Hashtbl.create 256 in
+  List.iter
+    (fun (f : Ast.fundef) ->
+      List.iter
+        (fun (a : Visit.access) ->
+          Hashtbl.replace lval_of_aid a.Visit.acc_aid (f, a.Visit.acc_lval))
+        (Visit.accesses_of_fun f))
+    (Ast.functions prog);
+  let private_objects = ref Alias.Andersen.LocSet.empty in
+  Hashtbl.iter
+    (fun aid v ->
+      if v = Privatize.Classify.Private then
+        match Hashtbl.find_opt lval_of_aid aid with
+        | Some (f, lv) ->
+          private_objects :=
+            Alias.Andersen.LocSet.union !private_objects
+              (Alias.Andersen.objects_of_lval alias prog f lv)
+        | None -> ())
+    plan.verdicts;
+  (* Named stack objects of other functions are per-thread already
+     (thread-private stacks); expand them only when an ambiguous
+     pointer mixes them with heap or loop-function objects. *)
+  let is_stack_private l =
+    match l with
+    | Alias.Andersen.LVar q -> (
+      match unqualify q with
+      | Some fn, _ -> not (List.mem fn loop_fns)
+      | None, _ -> false)
+    | _ -> false
+  in
+  (* Locals of the loop function whose every access lies lexically
+     inside a target loop are per-thread automatically under OpenMP
+     outlining (the loop body becomes a function executed on private
+     stacks), so they need no expansion either — this covers loop-body
+     temporaries and inner-loop counters. *)
+  let loop_stmt_aids = Hashtbl.create 256 in
+  List.iter
+    (fun (a : Privatize.Analyze.result) ->
+      let stmt = a.Privatize.Analyze.loop_stmt in
+      let collect s =
+        List.iter
+          (fun (acc : Visit.access) ->
+            Hashtbl.replace loop_stmt_aids acc.Visit.acc_aid ())
+          (Visit.accesses_of_stmt s)
+      in
+      let exp_accs e =
+        ignore
+          (Visit.fold_exp_accesses
+             (fun () (acc : Visit.access) ->
+               Hashtbl.replace loop_stmt_aids acc.Visit.acc_aid ())
+             () e)
+      in
+      match stmt.Ast.skind with
+      | Ast.Swhile (_, c, body) ->
+        exp_accs c;
+        collect body
+      | Ast.Sfor (_, _, c, step, body) ->
+        exp_accs c;
+        collect step;
+        collect body
+      | _ -> ())
+    analyses;
+  let var_root_aids = Hashtbl.create 256 in
+  List.iter
+    (fun (f : Ast.fundef) ->
+      List.iter
+        (fun (a : Visit.access) ->
+          let rec root = function
+            | Ast.Var x -> Some x
+            | Ast.Deref _ -> None
+            | Ast.Index (b, _) | Ast.Field (b, _) -> root b
+          in
+          match root a.Visit.acc_lval with
+          | Some x ->
+            let key = f.Ast.fname ^ "::" ^ x in
+            Hashtbl.replace var_root_aids key
+              (a.Visit.acc_aid
+              :: Option.value ~default:[] (Hashtbl.find_opt var_root_aids key))
+          | None -> ())
+        (Visit.accesses_of_fun f))
+    (Ast.functions prog);
+  let is_loop_scoped l =
+    match l with
+    | Alias.Andersen.LVar q -> (
+      match unqualify q with
+      | Some fn, x when List.mem fn loop_fns -> (
+        match Ast.find_fun prog fn with
+        | Some f when List.mem_assoc x f.Ast.flocals -> (
+          match Hashtbl.find_opt var_root_aids q with
+          | Some aids ->
+            aids <> []
+            && List.for_all (fun a -> Hashtbl.mem loop_stmt_aids a) aids
+          | None -> false)
+        | _ -> false)
+      | _ -> false)
+    | _ -> false
+  in
+  let stack_locs, expandable_locs =
+    Alias.Andersen.LocSet.partition
+      (fun l -> is_stack_private l || is_loop_scoped l)
+      !private_objects
+  in
+  Alias.Andersen.LocSet.iter
+    (fun l ->
+      match l with
+      | Alias.Andersen.LVar q -> Hashtbl.replace plan.expand_vars q ()
+      | Alias.Andersen.LAlloc aid -> Hashtbl.replace plan.expand_allocs aid ()
+      | Alias.Andersen.LRet _ -> ())
+    expandable_locs;
+  (* Mixed-object private accesses: a pointer that may target both a
+     callee stack variable and an expandable object would be offset
+     wrongly for the stack target, so heap-convert those stack
+     variables too. *)
+  if not (Alias.Andersen.LocSet.is_empty expandable_locs) then
+    Hashtbl.iter
+      (fun aid v ->
+        if v = Privatize.Classify.Private then
+          match Hashtbl.find_opt lval_of_aid aid with
+          | Some (f, lv) ->
+            let objs = Alias.Andersen.objects_of_lval alias prog f lv in
+            let has_stack =
+              not
+                (Alias.Andersen.LocSet.is_empty
+                   (Alias.Andersen.LocSet.inter objs stack_locs))
+            in
+            let has_exp =
+              Alias.Andersen.LocSet.exists (is_expanded_loc plan) objs
+            in
+            if has_stack && has_exp then
+              Alias.Andersen.LocSet.iter
+                (fun l ->
+                  match l with
+                  | Alias.Andersen.LVar q
+                    when is_stack_private l || is_loop_scoped l ->
+                    Hashtbl.replace plan.expand_vars q ()
+                  | _ -> ())
+                objs
+          | None -> ())
+      plan.verdicts;
+  (* 2. Promotion set. *)
+  let expanded = expanded_loc_set plan in
+  let consider_var (f : Ast.fundef option) (x : string) (t : Types.ty) =
+    if is_pointerish t then begin
+      let q = match f with Some f -> qualify f x | None -> x in
+      let node = Alias.Andersen.LVar q in
+      if
+        (not selective)
+        || Alias.Andersen.may_point_into alias node expanded
+      then Hashtbl.replace plan.promoted_vars q ()
+    end
+  in
+  List.iter (fun (x, t, _) -> consider_var None x t) (Ast.global_vars prog);
+  List.iter
+    (fun (f : Ast.fundef) ->
+      List.iter (fun (x, t) -> consider_var (Some f) x t) f.Ast.fformals;
+      List.iter (fun (x, t) -> consider_var (Some f) x t) f.Ast.flocals)
+    (Ast.functions prog);
+  (* Struct fields: promote (tag, fld) when some assignment stores a
+     possibly-expanded pointer into it (or always, when unselective). *)
+  let consider_field tag fld =
+    Hashtbl.replace plan.promoted_fields (tag, fld) ()
+  in
+  if not selective then
+    Hashtbl.iter
+      (fun tag (c : Types.composite) ->
+        List.iter
+          (fun (fld, ft) ->
+            if is_pointerish ft then consider_field tag fld)
+          c.Types.cfields)
+      prog.Ast.comps
+  else begin
+    let env = Typecheck.make_env prog in
+    List.iter
+      (fun (f : Ast.fundef) ->
+        let fe = Typecheck.fenv_of env f in
+        let rec scan (s : Ast.stmt) =
+          match s.Ast.skind with
+          | Ast.Sassign (_, (Ast.Field (b, fld) as lv), rhs) -> (
+            ignore lv;
+            match Typecheck.lval_ty fe b with
+            | Types.Tstruct tag
+              when Types.is_pointer (Typecheck.lval_ty fe (Ast.Field (b, fld)))
+              ->
+              if
+                not
+                  (Alias.Andersen.LocSet.is_empty
+                     (Alias.Andersen.LocSet.inter
+                        (Alias.Andersen.targets_of_exp alias prog f rhs)
+                        expanded))
+              then consider_field tag fld
+            | _ -> ())
+          | Ast.Sseq ss -> List.iter scan ss
+          | Ast.Sif (_, a, b) ->
+            scan a;
+            scan b
+          | Ast.Swhile (_, _, body) -> scan body
+          | Ast.Sfor (_, init, _, step, body) ->
+            scan init;
+            scan step;
+            scan body
+          | _ -> ()
+        in
+        scan f.Ast.fbody)
+      (Ast.functions prog)
+  end;
+  plan
+
+(** Number of distinct dynamic data structures this plan privatizes
+    (Table 5 of the paper): expanded named variables plus expanded
+    allocation sites. *)
+let privatized_count (plan : t) : int =
+  Hashtbl.length plan.expand_vars + Hashtbl.length plan.expand_allocs
+
+let expanded_var plan q = Hashtbl.mem plan.expand_vars q
+let expanded_alloc plan aid = Hashtbl.mem plan.expand_allocs aid
+let promoted_var plan q = Hashtbl.mem plan.promoted_vars q
+let promoted_field plan tag fld = Hashtbl.mem plan.promoted_fields (tag, fld)

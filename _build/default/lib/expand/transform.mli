@@ -1,0 +1,52 @@
+(** The general data structure expansion transformation (§3 of the
+    paper): fat-pointer promotion with span maintenance (Table 3),
+    type expansion in bonded or interleaved layout (Table 1,
+    Figure 2), access redirection (Table 2), global demotion to heap,
+    OpenMP-style scalar privatization, and loop-invariant
+    redirection-base caching.
+
+    The transformed program reads two runtime globals: [__nthreads]
+    (thread count, set before [main] runs, defaulting to 1) and
+    [__tid] (set by the parallel scheduler between iterations; 0 means
+    the shared copy, so plain sequential execution is unchanged and
+    must produce identical output). *)
+
+open Minic
+
+(** Raised when a program uses a shape the transformation cannot
+    handle soundly (e.g. storing a pointer to expanded data through
+    untyped memory, or interleaving a recast structure) — programs are
+    rejected loudly rather than miscompiled. *)
+exception Unsupported of string
+
+type result = {
+  plan : Plan.t;
+  transformed : Ast.program;
+  privatized : int;  (** Table 5's count of privatized data structures *)
+  opt_stats : Optim.Spanopt.stats option;
+      (** §3.4 statistics when the optimized pipeline ran *)
+}
+
+(** Expand for several analyzed loops at once (verdicts of accesses
+    appearing in multiple loops are merged conservatively).
+    [selective:false] promotes every pointer (Figure 9a's unoptimized
+    configuration); [optimize:false] skips §3.4 span optimization and
+    base caching and emits the mechanical Table 2 redirection forms.
+    [mode:Interleaved] lays out copies per Figure 2(b) and rejects
+    shapes interleaving cannot express. *)
+val expand_loops :
+  ?mode:Plan.mode ->
+  ?selective:bool ->
+  ?optimize:bool ->
+  Ast.program ->
+  Privatize.Analyze.result list ->
+  result
+
+(** Single-loop convenience wrapper around {!expand_loops}. *)
+val expand :
+  ?mode:Plan.mode ->
+  ?selective:bool ->
+  ?optimize:bool ->
+  Ast.program ->
+  Privatize.Analyze.result ->
+  result

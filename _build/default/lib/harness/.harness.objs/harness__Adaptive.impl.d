@@ -1,0 +1,1 @@
+lib/harness/adaptive.ml: Ast Expand Interp Minic Privatize

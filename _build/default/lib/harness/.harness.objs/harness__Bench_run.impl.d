@@ -1,0 +1,1 @@
+lib/harness/bench_run.ml: Ast Expand Hashtbl Lazy List Minic Parexec Printf Privatize Runtimepriv String Typecheck Workloads

@@ -1,0 +1,1 @@
+lib/harness/bench_run.mli: Ast Expand Hashtbl Lazy Minic Parexec Privatize Workloads

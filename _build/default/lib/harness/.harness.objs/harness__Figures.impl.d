@@ -1,0 +1,1 @@
+lib/harness/figures.ml: Array Bench_run Expand List Parexec Printf Privatize Report String Tables Workloads

@@ -1,0 +1,65 @@
+(** Adaptive layout selection — the scheme the paper's conclusion
+    lists as future work: "the bonded mode and the interleaved mode
+    for data structure allocation have their respective strengths and
+    weaknesses ... which naturally raises the prospect of devising an
+    adaptive scheme to switch between these two modes."
+
+    The chooser is empirical: produce both expansions (interleaving is
+    only attempted when every expanded structure fits its restricted
+    shape — otherwise bonded wins by default, exactly the robustness
+    argument of §3.1), probe each with a sequential cache-modelled run
+    at the target thread count, and keep the cheaper layout. *)
+
+open Minic
+
+type choice = {
+  mode : Expand.Plan.mode;
+  result : Expand.Transform.result;
+  bonded_cycles : int;
+  interleaved_cycles : int option;
+      (** [None] when the program has a shape interleaving rejects *)
+}
+
+let probe (prog : Ast.program) (lids : Ast.lid list) (threads : int) : int =
+  let m = Interp.Machine.load prog in
+  Interp.Machine.set_global_int m.Interp.Machine.st "__nthreads" threads;
+  ignore lids;
+  ignore (Interp.Machine.run m);
+  m.Interp.Machine.st.Interp.Machine.cycles
+
+(** Expand with whichever layout the probe prefers. *)
+let choose ?(threads = 8) (prog : Ast.program)
+    (analyses : Privatize.Analyze.result list) : choice =
+  let lids = prog.Ast.parallel_loops in
+  let bonded = Expand.Transform.expand_loops ~mode:Expand.Plan.Bonded prog analyses in
+  let bonded_cycles =
+    probe bonded.Expand.Transform.transformed lids threads
+  in
+  match
+    Expand.Transform.expand_loops ~mode:Expand.Plan.Interleaved prog analyses
+  with
+  | exception Expand.Transform.Unsupported _ ->
+    {
+      mode = Expand.Plan.Bonded;
+      result = bonded;
+      bonded_cycles;
+      interleaved_cycles = None;
+    }
+  | inter ->
+    let interleaved_cycles =
+      probe inter.Expand.Transform.transformed lids threads
+    in
+    if interleaved_cycles < bonded_cycles then
+      {
+        mode = Expand.Plan.Interleaved;
+        result = inter;
+        bonded_cycles;
+        interleaved_cycles = Some interleaved_cycles;
+      }
+    else
+      {
+        mode = Expand.Plan.Bonded;
+        result = bonded;
+        bonded_cycles;
+        interleaved_cycles = Some interleaved_cycles;
+      }

@@ -1,0 +1,131 @@
+(** Per-benchmark experiment state: the analyses and transformed
+    programs, plus lazily-computed, memoized measurement runs. Every
+    table and figure of the paper draws from this record, so each
+    expensive execution happens at most once per process. *)
+
+open Minic
+
+type t = {
+  workload : Workloads.Workload.t;
+  prog : Ast.program;
+  lids : Ast.lid list;
+  analyses : Privatize.Analyze.result list;
+  specs : Parexec.Sim.loop_spec list;
+  expanded : Expand.Transform.result;  (** selective + optimized *)
+  expanded_unopt : Expand.Transform.result Lazy.t;
+      (** promote-all, no span optimization: Figure 9a's configuration *)
+  rp : Parexec.Sim.runtime_priv Lazy.t;
+  seq : Parexec.Sim.seq_result Lazy.t;
+  mutable par_cache : (int * bool, Parexec.Sim.par_result) Hashtbl.t;
+      (** (threads, with runtime-privatization surcharge) -> result *)
+  mutable seq_cycles_cache : (string, int * int) Hashtbl.t;
+      (** tagged sequential runs of transformed programs:
+          (cycles, peak bytes) *)
+}
+
+let load (w : Workloads.Workload.t) : t =
+  let prog =
+    Typecheck.parse_and_check ~file:w.Workloads.Workload.name
+      w.Workloads.Workload.source
+  in
+  let lids = prog.Ast.parallel_loops in
+  let analyses = List.map (Privatize.Analyze.analyze prog) lids in
+  let specs = List.map Parexec.Sim.spec_of_analysis analyses in
+  let expanded = Expand.Transform.expand_loops prog analyses in
+  {
+    workload = w;
+    prog;
+    lids;
+    analyses;
+    specs;
+    expanded;
+    expanded_unopt =
+      lazy (Expand.Transform.expand_loops ~selective:false ~optimize:false prog analyses);
+    rp = lazy (Runtimepriv.Rp.config_of prog analyses);
+    seq = lazy (Parexec.Sim.run_sequential prog lids);
+    par_cache = Hashtbl.create 8;
+    seq_cycles_cache = Hashtbl.create 4;
+  }
+
+let seq (b : t) = Lazy.force b.seq
+
+(** Simulated parallel run of the expanded program. *)
+let par ?(rp = false) (b : t) ~threads : Parexec.Sim.par_result =
+  match Hashtbl.find_opt b.par_cache (threads, rp) with
+  | Some r -> r
+  | None ->
+    let r =
+      Parexec.Sim.run_parallel
+        ?rp:(if rp then Some (Lazy.force b.rp) else None)
+        b.expanded.Expand.Transform.transformed b.specs ~threads
+    in
+    if not (String.equal r.Parexec.Sim.pr_output (seq b).Parexec.Sim.sq_output)
+    then
+      failwith
+        (Printf.sprintf "%s: parallel output mismatch at %d threads"
+           b.workload.Workloads.Workload.name threads);
+    Hashtbl.replace b.par_cache (threads, rp) r;
+    r
+
+(** Sequential (1-thread, tid=0) run of a transformed program under the
+    same cache model as the reference; gives Figure 9/10's overheads. *)
+let seq_cycles_of (b : t) ~(tag : string) (prog : Ast.program) : int * int =
+  match Hashtbl.find_opt b.seq_cycles_cache tag with
+  | Some r -> r
+  | None ->
+    let r = Parexec.Sim.run_sequential prog b.lids in
+    if not (String.equal r.Parexec.Sim.sq_output (seq b).Parexec.Sim.sq_output)
+    then
+      failwith
+        (Printf.sprintf "%s/%s: sequential output mismatch"
+           b.workload.Workloads.Workload.name tag);
+    let v = (r.Parexec.Sim.sq_total, r.Parexec.Sim.sq_peak) in
+    Hashtbl.replace b.seq_cycles_cache tag v;
+    v
+
+let loop_cycles_seq (b : t) : int =
+  List.fold_left (fun a (_, c) -> a + c) 0 (seq b).Parexec.Sim.sq_loop
+
+let loop_cycles_par ?(rp = false) (b : t) ~threads : int =
+  List.fold_left (fun a (_, c) -> a + c) 0
+    (par ~rp b ~threads).Parexec.Sim.pr_loop
+
+let loop_speedup ?(rp = false) (b : t) ~threads : float =
+  float_of_int (loop_cycles_seq b)
+  /. float_of_int (loop_cycles_par ~rp b ~threads)
+
+let total_speedup ?(rp = false) (b : t) ~threads : float =
+  float_of_int (seq b).Parexec.Sim.sq_total
+  /. float_of_int (par ~rp b ~threads).Parexec.Sim.pr_total
+
+(** Sequential slowdown of the expanded program (Figure 9): >1 means
+    the transformation costs time on one core. *)
+let seq_slowdown (b : t) ~(optimized : bool) : float =
+  let prog, tag =
+    if optimized then (b.expanded.Expand.Transform.transformed, "opt")
+    else ((Lazy.force b.expanded_unopt).Expand.Transform.transformed, "unopt")
+  in
+  let cycles, _ = seq_cycles_of b ~tag prog in
+  float_of_int cycles /. float_of_int (seq b).Parexec.Sim.sq_total
+
+(** Sequential slowdown under runtime privatization (Figure 10's
+    baseline side): the same correct program with the SpiceC-style
+    access-control costs charged, on one thread. *)
+let rp_seq_slowdown (b : t) : float =
+  let r = par ~rp:true b ~threads:1 in
+  float_of_int r.Parexec.Sim.pr_total /. float_of_int (seq b).Parexec.Sim.sq_total
+
+(** Memory-use multiple over the sequential original (Figure 14). *)
+let memory_multiple (b : t) ~threads : float =
+  let pr = par b ~threads in
+  float_of_int pr.Parexec.Sim.pr_peak
+  /. float_of_int (seq b).Parexec.Sim.sq_peak
+
+(** Runtime privatization's memory multiple: the original footprint
+    plus one copy of the touched private bytes per extra thread. The
+    touched set is measured on the single-thread run, where exactly
+    one copy of each privatized structure exists. *)
+let rp_memory_multiple (b : t) ~threads : float =
+  let touched = (par ~rp:true b ~threads:1).Parexec.Sim.pr_rp_touched_bytes in
+  let base = (seq b).Parexec.Sim.sq_peak in
+  float_of_int (base + ((threads - 1) * touched)) /. float_of_int base

@@ -1,0 +1,46 @@
+(** Per-benchmark experiment state: the analyses and transformed
+    programs, plus lazily-computed, memoized measurement runs. Every
+    table and figure of the paper draws from this record, so each
+    expensive execution happens at most once per process. Every
+    measured run is checked to produce the same output as the
+    sequential original; a mismatch fails the run. *)
+
+open Minic
+
+type t = {
+  workload : Workloads.Workload.t;
+  prog : Ast.program;
+  lids : Ast.lid list;
+  analyses : Privatize.Analyze.result list;
+  specs : Parexec.Sim.loop_spec list;
+  expanded : Expand.Transform.result;  (** selective + optimized *)
+  expanded_unopt : Expand.Transform.result Lazy.t;
+      (** promote-all, no span optimization: Figure 9a's configuration *)
+  rp : Parexec.Sim.runtime_priv Lazy.t;
+  seq : Parexec.Sim.seq_result Lazy.t;
+  mutable par_cache : (int * bool, Parexec.Sim.par_result) Hashtbl.t;
+  mutable seq_cycles_cache : (string, int * int) Hashtbl.t;
+}
+
+val load : Workloads.Workload.t -> t
+val seq : t -> Parexec.Sim.seq_result
+
+(** Simulated parallel run; [rp:true] charges the SpiceC-style
+    runtime-privatization costs. *)
+val par : ?rp:bool -> t -> threads:int -> Parexec.Sim.par_result
+
+val loop_cycles_seq : t -> int
+val loop_cycles_par : ?rp:bool -> t -> threads:int -> int
+val loop_speedup : ?rp:bool -> t -> threads:int -> float
+val total_speedup : ?rp:bool -> t -> threads:int -> float
+
+(** Sequential slowdown of the expanded program (Figure 9). *)
+val seq_slowdown : t -> optimized:bool -> float
+
+(** Sequential slowdown under runtime privatization (Figure 10). *)
+val rp_seq_slowdown : t -> float
+
+(** Memory-use multiples over the sequential original (Figure 14). *)
+val memory_multiple : t -> threads:int -> float
+
+val rp_memory_multiple : t -> threads:int -> float

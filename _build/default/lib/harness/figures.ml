@@ -1,0 +1,234 @@
+(** Renderers for every table and figure of the paper's evaluation.
+    Each takes the loaded benchmarks and returns the text the
+    experiments binary prints (and EXPERIMENTS.md embeds). *)
+
+open Report
+
+let name (b : Bench_run.t) = b.Bench_run.workload.Workloads.Workload.name
+
+let threads_list = [ 1; 2; 4; 8 ]
+
+(* ------------------------------------------------------------------ *)
+
+let table4 (benches : Bench_run.t list) : string =
+  let rows =
+    List.map
+      (fun b ->
+        let w = b.Bench_run.workload in
+        let kinds =
+          List.map
+            (fun (s : Parexec.Sim.loop_spec) ->
+              match s.Parexec.Sim.schedule with
+              | Parexec.Sim.Doall -> "DOALL"
+              | Parexec.Sim.Doacross -> "DOACROSS")
+            b.Bench_run.specs
+          |> List.sort_uniq compare |> String.concat "+"
+        in
+        let seq = Bench_run.seq b in
+        let pct =
+          float_of_int (Bench_run.loop_cycles_seq b)
+          /. float_of_int seq.Parexec.Sim.sq_total
+        in
+        [
+          name b;
+          w.Workloads.Workload.suite;
+          string_of_int (Workloads.Workload.loc_count w);
+          String.concat "," w.Workloads.Workload.loop_functions;
+          String.concat ","
+            (List.map string_of_int w.Workloads.Workload.nest_levels);
+          kinds;
+          Tables.pct pct;
+        ])
+      benches
+  in
+  "Table 4: benchmark characteristics (parallelism detected by the \
+   classifier; %time measured)\n"
+  ^ Tables.render
+      ~header:
+        [ "benchmark"; "suite"; "#LOC"; "function"; "level"; "parallelism"; "%time" ]
+      rows
+
+let table5 (benches : Bench_run.t list) : string =
+  let rows =
+    List.map
+      (fun b ->
+        [
+          name b;
+          string_of_int b.Bench_run.expanded.Expand.Transform.privatized;
+          string_of_int b.Bench_run.workload.Workloads.Workload.paper_privatized;
+        ])
+      benches
+  in
+  "Table 5: dynamic data structures privatized\n"
+  ^ Tables.render ~header:[ "benchmark"; "privatized"; "paper" ] rows
+
+let fig8 (benches : Bench_run.t list) : string =
+  let rows =
+    List.map
+      (fun b ->
+        let breakdowns =
+          List.map
+            (fun (a : Privatize.Analyze.result) ->
+              Privatize.Classify.breakdown
+                a.Privatize.Analyze.classification)
+            b.Bench_run.analyses
+        in
+        let free =
+          List.fold_left
+            (fun acc (x : Privatize.Classify.breakdown) ->
+              acc + x.Privatize.Classify.free_of_carried)
+            0 breakdowns
+        and expd =
+          List.fold_left
+            (fun acc (x : Privatize.Classify.breakdown) ->
+              acc + x.Privatize.Classify.expandable)
+            0 breakdowns
+        and carried =
+          List.fold_left
+            (fun acc (x : Privatize.Classify.breakdown) ->
+              acc + x.Privatize.Classify.with_carried)
+            0 breakdowns
+        in
+        let total = max 1 (free + expd + carried) in
+        let p n = Tables.pct (float_of_int n /. float_of_int total) in
+        [ name b; p free; p expd; p carried ])
+      benches
+  in
+  "Figure 8: breakdown of the loops' dynamic memory accesses\n"
+  ^ Tables.render
+      ~header:
+        [ "benchmark"; "free of carried dep"; "expandable"; "with carried dep" ]
+      rows
+
+let fig9 (benches : Bench_run.t list) ~(optimized : bool) : string =
+  let slowdowns =
+    List.map (fun b -> Bench_run.seq_slowdown b ~optimized) benches
+  in
+  let rows =
+    List.map2 (fun b s -> [ name b; Tables.fx s ]) benches slowdowns
+  in
+  Printf.sprintf
+    "Figure 9%s: sequential slowdown of expansion %s optimizations\n"
+    (if optimized then "b" else "a")
+    (if optimized then "WITH" else "WITHOUT")
+  ^ Tables.render ~header:[ "benchmark"; "slowdown (x)" ] rows
+  ^ Printf.sprintf "harmonic mean: %.2fx\n" (Tables.harmonic_mean slowdowns)
+
+let fig10 (benches : Bench_run.t list) : string =
+  let rows =
+    List.map
+      (fun b ->
+        [
+          name b;
+          Tables.fx (Bench_run.seq_slowdown b ~optimized:true);
+          Tables.fx (Bench_run.rp_seq_slowdown b);
+        ])
+      benches
+  in
+  "Figure 10: sequential overhead, static expansion vs runtime \
+   privatization\n"
+  ^ Tables.render
+      ~header:[ "benchmark"; "expansion (x)"; "runtime priv (x)" ]
+      rows
+
+let speedup_table title f (benches : Bench_run.t list) : string =
+  let rows =
+    List.map
+      (fun b ->
+        name b
+        :: List.map (fun t -> Tables.fx (f b ~threads:t)) threads_list)
+      benches
+  in
+  title ^ "\n"
+  ^ Tables.render
+      ~header:
+        ("benchmark"
+        :: List.map (fun t -> Printf.sprintf "%d core%s" t (if t > 1 then "s" else ""))
+             threads_list)
+      rows
+
+let fig11 (benches : Bench_run.t list) : string =
+  let loops =
+    speedup_table "Figure 11a: loop speedup"
+      (fun b ~threads -> Bench_run.loop_speedup b ~threads)
+      benches
+  in
+  let totals =
+    speedup_table "Figure 11b: total speedup"
+      (fun b ~threads -> Bench_run.total_speedup b ~threads)
+      benches
+  in
+  let hm t =
+    Tables.harmonic_mean
+      (List.map (fun b -> Bench_run.total_speedup b ~threads:t) benches)
+  in
+  loops ^ "\n" ^ totals
+  ^ Printf.sprintf
+      "harmonic mean of total speedups: %.2f @4 cores, %.2f @8 cores (paper: \
+       1.93, 2.24)\n"
+      (hm 4) (hm 8)
+
+let fig12 (benches : Bench_run.t list) ~(threads : int) : string =
+  let rows =
+    List.map
+      (fun b ->
+        let pr = Bench_run.par b ~threads in
+        let sum a = Array.fold_left ( + ) 0 a in
+        let busy = sum pr.Parexec.Sim.pr_busy
+        and sync = sum pr.Parexec.Sim.pr_sync
+        and idle = sum pr.Parexec.Sim.pr_idle
+        and ovh = pr.Parexec.Sim.pr_overhead in
+        let total = max 1 (busy + sync + idle + ovh) in
+        let p n = Tables.pct (float_of_int n /. float_of_int total) in
+        [ name b; p busy; p sync; p idle; p ovh ])
+      benches
+  in
+  Printf.sprintf
+    "Figure 12: cycle breakdown of the %d-core run (aggregated over threads)\n"
+    threads
+  ^ Tables.render
+      ~header:
+        [ "benchmark"; "work"; "sync wait"; "do_wait/cpu_relax"; "gomp overhead" ]
+      rows
+
+let fig13 (benches : Bench_run.t list) : string =
+  speedup_table "Figure 13: loop speedup under runtime privatization"
+    (fun b ~threads -> Bench_run.loop_speedup ~rp:true b ~threads)
+    benches
+
+let fig14 (benches : Bench_run.t list) : string =
+  let rows =
+    List.map
+      (fun b ->
+        [
+          name b;
+          Tables.fx (Bench_run.memory_multiple b ~threads:4);
+          Tables.fx (Bench_run.memory_multiple b ~threads:8);
+          Tables.fx (Bench_run.rp_memory_multiple b ~threads:4);
+          Tables.fx (Bench_run.rp_memory_multiple b ~threads:8);
+        ])
+      benches
+  in
+  "Figure 14: memory use as a multiple of the sequential original\n"
+  ^ Tables.render
+      ~header:
+        [
+          "benchmark"; "expansion @4"; "expansion @8"; "runtime priv @4";
+          "runtime priv @8";
+        ]
+      rows
+
+(* thunked so that selecting a subset only runs what it needs *)
+let all (benches : Bench_run.t list) : (string * (unit -> string)) list =
+  [
+    ("table4", fun () -> table4 benches);
+    ("table5", fun () -> table5 benches);
+    ("fig8", fun () -> fig8 benches);
+    ("fig9a", fun () -> fig9 benches ~optimized:false);
+    ("fig9b", fun () -> fig9 benches ~optimized:true);
+    ("fig10", fun () -> fig10 benches);
+    ("fig11", fun () -> fig11 benches);
+    ("fig12", fun () -> fig12 benches ~threads:8);
+    ("fig13", fun () -> fig13 benches);
+    ("fig14", fun () -> fig14 benches);
+  ]

@@ -1,0 +1,19 @@
+(** Renderers for every table and figure of the paper's evaluation.
+    Each takes the loaded benchmarks and returns the text the
+    experiments binary prints (and EXPERIMENTS.md embeds). *)
+
+val threads_list : int list
+
+val table4 : Bench_run.t list -> string
+val table5 : Bench_run.t list -> string
+val fig8 : Bench_run.t list -> string
+val fig9 : Bench_run.t list -> optimized:bool -> string
+val fig10 : Bench_run.t list -> string
+val fig11 : Bench_run.t list -> string
+val fig12 : Bench_run.t list -> threads:int -> string
+val fig13 : Bench_run.t list -> string
+val fig14 : Bench_run.t list -> string
+
+(** Every artifact by name, thunked so that selecting a subset only
+    runs the measurements it needs. *)
+val all : Bench_run.t list -> (string * (unit -> string)) list

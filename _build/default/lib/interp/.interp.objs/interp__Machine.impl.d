@@ -1,0 +1,1 @@
+lib/interp/machine.ml: Array Ast Buffer Char Cost Float Hashtbl Int32 Int64 List Loc Memory Minic Option Printf Stdlib String Typecheck Types Visit

@@ -1,0 +1,1 @@
+lib/interp/machine.mli: Ast Buffer Hashtbl Memory Minic Types Visit

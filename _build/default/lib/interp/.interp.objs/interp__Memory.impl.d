@@ -1,0 +1,1 @@
+lib/interp/memory.ml: Bytes Char Hashtbl Int32 Int64 Printf String

@@ -1,0 +1,38 @@
+(** Per-operation cycle costs for the deterministic execution model.
+
+    The absolute values approximate a simple in-order core; only the
+    ratios matter for reproducing the paper's speedup shapes. Memory
+    operations additionally pay whatever the pluggable access-cost hook
+    (e.g. the cache model in {!Parexec}) charges. *)
+
+let load = 2
+let store = 2
+let arith = 1
+let mul = 3
+let div = 20
+let float_arith = 2
+let float_div = 12
+(* sqrt, exp, log, ... *)
+let float_fn = 24
+let branch = 1
+let call = 10
+let malloc = 40
+let free = 20
+(* per character of formatted output *)
+let io_char = 50
+
+(** GOMP-like runtime costs, used by the parallel simulator. *)
+(* per parallel-loop entry: team wakeup *)
+let gomp_fork = 4_000
+(* per thread, at loop exit *)
+let gomp_barrier = 800
+(* per dynamically-scheduled chunk *)
+let gomp_dispatch = 120
+
+(** SpiceC-style runtime privatization costs (per event), used by the
+    {!Runtimepriv} baseline: each private access goes through the
+    access-control library. *)
+(* access-control library call: heap-prefix lookup of the private copy *)
+let rp_resolve = 80
+(* copy-in / commit, per byte, at loop boundaries *)
+let rp_copy_byte = 2

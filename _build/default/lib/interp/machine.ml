@@ -1,0 +1,1111 @@
+(** The MiniC abstract machine.
+
+    Programs are compiled once into OCaml closures (an order of
+    magnitude faster than AST walking, which matters because the
+    evaluation re-runs every benchmark under many configurations). The
+    machine is deterministic and instrumented:
+
+    - every dynamic memory access reports (access id, kind, address,
+      size) to an optional {e observer} — the dependence profiler;
+    - every access may be surcharged by an optional {e access-cost}
+      hook — the cache model of the parallel simulator;
+    - every loop reports enter / iteration / exit events to an optional
+      {e loop hook} — the parallel simulator's scheduler;
+    - cycle and instruction-class counters implement the cost model.
+
+    All of C that the frontend accepts is supported; the interesting
+    cases are byte-accurate struct layout, pointer arithmetic with
+    scaling, 32-bit wraparound on [int] arithmetic, and type recasting
+    through memory (bzip2's short/int [zptr] idiom). *)
+
+open Minic
+
+type value = Vint of int64 | Vfloat of float
+
+type stats = {
+  mutable n_loads : int;
+  mutable n_stores : int;
+  mutable n_arith : int;
+  mutable n_branches : int;
+  mutable n_calls : int;
+  mutable n_allocs : int;
+}
+
+let empty_stats () =
+  {
+    n_loads = 0;
+    n_stores = 0;
+    n_arith = 0;
+    n_branches = 0;
+    n_calls = 0;
+    n_allocs = 0;
+  }
+
+type loop_event = Enter | Iter of int | Exit
+
+type state = {
+  mem : Memory.t;
+  out : Buffer.t;
+  global_addrs : (string, int) Hashtbl.t;
+  stack_base : int;
+  stack_limit : int;
+  mutable sp : int;  (** next free stack byte *)
+  mutable frame : int;  (** current frame base *)
+  mutable cycles : int;
+  stats : stats;
+  mutable observer : (Ast.aid -> Visit.access_kind -> int -> int -> unit) option;
+  mutable access_extra : (Visit.access_kind -> int -> int -> int) option;
+  mutable loop_hook : (Ast.lid -> loop_event -> unit) option;
+  mutable free_hook : (int -> int -> unit) option;
+      (** (base, size) on free/realloc: a freed block's bytes carry no
+          dependences into their next allocation (a thread-safe
+          allocator hands parallel threads distinct blocks), so the
+          dependence profiler clears their shadow state *)
+  mutable rand_state : int64;
+  mutable fuel : int;  (** decremented per loop iteration and call *)
+}
+
+exception Runtime_error of string
+exception Exit_program of int
+
+let runtime_error fmt = Printf.ksprintf (fun m -> raise (Runtime_error m)) fmt
+
+exception Break_exc
+exception Continue_exc
+exception Return_exc of value
+
+(* ------------------------------------------------------------------ *)
+(* Value helpers                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let as_int = function
+  | Vint v -> v
+  | Vfloat f -> runtime_error "expected an integer value, got float %g" f
+
+let as_float = function Vfloat f -> f | Vint v -> Int64.to_float v
+
+let truthy = function Vint v -> v <> 0L | Vfloat f -> f <> 0.0
+
+(** Sign-extending truncation to the width of an integer kind; MiniC
+    [int] arithmetic wraps at 32 bits like the C it models. *)
+let trunc_ikind (ik : Types.ikind) (v : int64) : int64 =
+  match ik with
+  | Types.ILong -> v
+  | Types.IInt -> Int64.shift_right (Int64.shift_left v 32) 32
+  | Types.IShort -> Int64.shift_right (Int64.shift_left v 48) 48
+  | Types.IChar -> Int64.shift_right (Int64.shift_left v 56) 56
+
+let round_float_kind (fk : Types.fkind) (f : float) : float =
+  match fk with
+  | Types.FDouble -> f
+  | Types.FFloat -> Int32.float_of_bits (Int32.bits_of_float f)
+
+(* ------------------------------------------------------------------ *)
+(* State                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let stack_size = 4 lsl 20
+
+let make_state () : state =
+  let mem = Memory.create ~initial:(8 lsl 20) () in
+  (* the simulated call stack is machinery, not program data:
+     keep it out of the heap/static footprint that Figure 14 measures *)
+  let stack_base = Memory.alloc ~track:false mem stack_size in
+  {
+    mem;
+    out = Buffer.create 256;
+    global_addrs = Hashtbl.create 32;
+    stack_base;
+    stack_limit = stack_base + stack_size;
+    sp = stack_base;
+    frame = stack_base;
+    cycles = 0;
+    stats = empty_stats ();
+    observer = None;
+    access_extra = None;
+    loop_hook = None;
+    free_hook = None;
+    rand_state = 0x9E3779B97F4A7C15L;
+    fuel = 2_000_000_000;
+  }
+
+let global_addr st name =
+  match Hashtbl.find_opt st.global_addrs name with
+  | Some a -> a
+  | None -> runtime_error "unknown global '%s'" name
+
+(** Poke/peek globals from the host (the parallel simulator uses this
+    to set [__tid] between iterations). *)
+let set_global_int st name (v : int) =
+  Memory.store st.mem (global_addr st name) 4 (Int64.of_int v)
+
+let get_global_int st name =
+  Int64.to_int (Memory.load st.mem (global_addr st name) 4)
+
+let output st = Buffer.contents st.out
+
+(* ------------------------------------------------------------------ *)
+(* Access accounting                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let do_load st aid addr size =
+  st.stats.n_loads <- st.stats.n_loads + 1;
+  st.cycles <-
+    st.cycles + Cost.load
+    + (match st.access_extra with
+      | None -> 0
+      | Some f -> f Visit.Load addr size);
+  (match st.observer with None -> () | Some f -> f aid Visit.Load addr size)
+
+let do_store st aid addr size =
+  st.stats.n_stores <- st.stats.n_stores + 1;
+  st.cycles <-
+    st.cycles + Cost.store
+    + (match st.access_extra with
+      | None -> 0
+      | Some f -> f Visit.Store addr size);
+  (match st.observer with None -> () | Some f -> f aid Visit.Store addr size)
+
+(* Register-resident scalars: a compiler keeps a non-address-taken
+   scalar local in a register, so its accesses cost one issue slot and
+   never touch the cache model. The dependence observer still sees
+   them (they are accesses, and argument/stack reuse must profile
+   correctly); only the cost differs. *)
+let do_load_reg st aid addr size =
+  st.stats.n_loads <- st.stats.n_loads + 1;
+  st.cycles <- st.cycles + Cost.arith;
+  match st.observer with None -> () | Some f -> f aid Visit.Load addr size
+
+let do_store_reg st aid addr size =
+  st.stats.n_stores <- st.stats.n_stores + 1;
+  st.cycles <- st.cycles + Cost.arith;
+  match st.observer with None -> () | Some f -> f aid Visit.Store addr size
+
+let charge st c = st.cycles <- st.cycles + c
+
+let burn_fuel st =
+  st.fuel <- st.fuel - 1;
+  if st.fuel <= 0 then runtime_error "fuel exhausted (infinite loop?)"
+
+(* ------------------------------------------------------------------ *)
+(* Compilation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type cfun = {
+  cf_frame_size : int;
+  cf_formals : (int * Types.ty * Ast.aid) list;
+      (** frame offset, type, and the synthetic access id of the
+          argument-binding store. Binding an argument writes the
+          formal's stack slot and must be visible to the dependence
+          profiler like any other store — otherwise a stale local of a
+          previously-popped frame at the same address would appear to
+          flow into the formal. *)
+  cf_body : unit -> unit;  (** raises [Return_exc] to produce a value *)
+  cf_ret : Types.ty;
+}
+
+type t = {
+  st : state;
+  prog : Ast.program;
+  funs : (string, cfun option ref) Hashtbl.t;
+  mutable inits : (unit -> unit) list;  (** global initializers, in order *)
+}
+
+let scalar_width _comps loc (t : Types.ty) : int =
+  match t with
+  | Types.Tint ik -> Types.ikind_size ik
+  | Types.Tfloat fk -> Types.fkind_size fk
+  | Types.Tptr _ -> 8
+  | t ->
+    Loc.error loc "expected a scalar type, got %s" (Types.show_ty t)
+
+(** Store a scalar [value] of static type [t] at [addr], converting the
+    value to the destination representation first. *)
+let store_scalar st _comps loc (t : Types.ty) addr (v : value) =
+  match t with
+  | Types.Tint ik -> Memory.store st.mem addr (Types.ikind_size ik)
+      (match v with Vint i -> i | Vfloat f -> Int64.of_float f)
+  | Types.Tfloat fk ->
+    Memory.store_float st.mem addr (Types.fkind_size fk) (as_float v)
+  | Types.Tptr _ -> Memory.store st.mem addr 8 (as_int v)
+  | t -> Loc.error loc "cannot store into type %s" (Types.show_ty t)
+
+let load_scalar st loc (t : Types.ty) addr : value =
+  match t with
+  | Types.Tint ik -> Vint (Memory.load st.mem addr (Types.ikind_size ik))
+  | Types.Tfloat fk -> Vfloat (Memory.load_float st.mem addr (Types.fkind_size fk))
+  | Types.Tptr _ -> Vint (Memory.load st.mem addr 8)
+  | t -> Loc.error loc "cannot load from type %s" (Types.show_ty t)
+
+type ctx = {
+  m : t;
+  fe : Typecheck.fenv;
+  slots : (string, int) Hashtbl.t;  (** local name -> frame offset *)
+  regs : (string, unit) Hashtbl.t;
+      (** register-allocatable locals: scalar, address never taken *)
+}
+
+let comps ctx = ctx.m.prog.Ast.comps
+
+(** Coerce a compiled value from type [src] to type [dst]. *)
+let coerce loc ~(src : Types.ty) ~(dst : Types.ty) (c : unit -> value) :
+    unit -> value =
+  match (Types.decay src, Types.decay dst) with
+  | a, b when Types.equal_ty a b -> c
+  | (Types.Tint _ | Types.Tptr _), Types.Tint ik ->
+    fun () -> Vint (trunc_ikind ik (as_int (c ())))
+  | Types.Tfloat _, Types.Tint ik ->
+    fun () ->
+      let f = as_float (c ()) in
+      if Float.is_nan f then Vint 0L
+      else Vint (trunc_ikind ik (Int64.of_float f))
+  | Types.Tint _, Types.Tfloat fk ->
+    fun () -> Vfloat (round_float_kind fk (Int64.to_float (as_int (c ()))))
+  | Types.Tfloat _, Types.Tfloat fk ->
+    fun () -> Vfloat (round_float_kind fk (as_float (c ())))
+  | (Types.Tptr _ | Types.Tint _), Types.Tptr _ -> c
+  | a, b ->
+    Loc.error loc "cannot convert %s to %s" (Types.show_ty a) (Types.show_ty b)
+
+(** Bottom-up constant folding at compile time: integer arithmetic
+    over literals and [sizeof] collapses to a literal, as any real
+    compiler's folding would (redirection expressions such as
+    [__tid * span] rely on this after §3.4's constant propagation). *)
+let rec fold_constants comps (e : Ast.exp) : Ast.exp =
+  match e with
+  | Ast.SizeofType t ->
+    Ast.Const (Ast.Cint (Int64.of_int (Types.sizeof comps Loc.dummy t), Types.ILong))
+  | Ast.Unop (op, a) -> (
+    match (op, fold_constants comps a) with
+    | Ast.Neg, Ast.Const (Ast.Cint (v, ik)) ->
+      Ast.Const (Ast.Cint (trunc_ikind (Types.promote_ikind ik) (Int64.neg v), ik))
+    | Ast.Bitnot, Ast.Const (Ast.Cint (v, ik)) ->
+      Ast.Const (Ast.Cint (trunc_ikind (Types.promote_ikind ik) (Int64.lognot v), ik))
+    | _, a -> Ast.Unop (op, a))
+  | Ast.Binop (op, a, b) -> (
+    let a = fold_constants comps a and b = fold_constants comps b in
+    match (op, a, b) with
+    | Ast.Add, Ast.Const (Ast.Cint (x, k1)), Ast.Const (Ast.Cint (y, k2)) ->
+      fold_int Int64.add x k1 y k2
+    | Ast.Sub, Ast.Const (Ast.Cint (x, k1)), Ast.Const (Ast.Cint (y, k2)) ->
+      fold_int Int64.sub x k1 y k2
+    | Ast.Mul, Ast.Const (Ast.Cint (x, k1)), Ast.Const (Ast.Cint (y, k2)) ->
+      fold_int Int64.mul x k1 y k2
+    | _ -> Ast.Binop (op, a, b))
+  | Ast.Cast (t, a) -> (
+    match (t, fold_constants comps a) with
+    | Types.Tint ik, Ast.Const (Ast.Cint (v, _)) ->
+      Ast.Const (Ast.Cint (trunc_ikind ik v, ik))
+    | t, a -> Ast.Cast (t, a))
+  | e -> e
+
+and fold_int f x k1 y k2 =
+  let k =
+    if Types.ikind_size k1 >= Types.ikind_size k2 then Types.promote_ikind k1
+    else Types.promote_ikind k2
+  in
+  Ast.Const (Ast.Cint (trunc_ikind k (f x y), k))
+
+(** Is a compile-time constant operand a power of two (modelling
+    strength reduction of multiplications into shifts)? *)
+let const_pow2 = function
+  | Ast.Const (Ast.Cint (v, _)) -> v > 0L && Int64.logand v (Int64.pred v) = 0L
+  | _ -> false
+
+let rec compile_exp (ctx : ctx) (e : Ast.exp) : unit -> value =
+  let st = ctx.m.st in
+  let loc = Loc.dummy in
+  let e = fold_constants (comps ctx) e in
+  match e with
+  | Ast.Const (Cint (v, ik)) ->
+    let v = Vint (trunc_ikind ik v) in
+    fun () -> v
+  | Ast.Const (Cfloat (f, fk)) ->
+    let v = Vfloat (round_float_kind fk f) in
+    fun () -> v
+  | Ast.Const (Cstr s) ->
+    let addr = Memory.write_cstring st.mem s in
+    fun () -> Vint (Int64.of_int addr)
+  | Ast.Lval (aid, lv) ->
+    let t = Typecheck.lval_ty ctx.fe lv in
+    let width = scalar_width (comps ctx) loc t in
+    let addr_c = compile_addr ctx lv in
+    (* __tid / __nthreads model values the OpenMP runtime hands each
+       thread in a register, so their loads are register-priced too *)
+    let in_reg =
+      match lv with
+      | Ast.Var ("__tid" | "__nthreads") -> true
+      | Ast.Var x -> Hashtbl.mem ctx.regs x
+      | _ -> false
+    in
+    if in_reg then fun () ->
+      let addr = addr_c () in
+      do_load_reg st aid addr width;
+      load_scalar st loc t addr
+    else fun () ->
+      let addr = addr_c () in
+      do_load st aid addr width;
+      load_scalar st loc t addr
+  | Ast.Addr lv ->
+    let addr_c = compile_addr ctx lv in
+    fun () -> Vint (Int64.of_int (addr_c ()))
+  | Ast.Unop (op, a) -> compile_unop ctx op a
+  | Ast.Binop (op, a, b) -> compile_binop ctx op a b e
+  | Ast.Cast (t, a) ->
+    let ta = Typecheck.exp_ty ctx.fe a in
+    coerce loc ~src:ta ~dst:t (compile_exp ctx a)
+  | Ast.SizeofType t ->
+    let v = Vint (Int64.of_int (Types.sizeof (comps ctx) loc t)) in
+    fun () -> v
+  | Ast.SizeofExp _ -> Loc.error loc "sizeof(expr) survived normalization"
+  | Ast.Call (f, _) ->
+    Loc.error loc "expression-level call to '%s' survived normalization" f
+  | Ast.Cond (c, a, b) ->
+    let t = Typecheck.exp_ty ctx.fe e in
+    let cc = compile_exp ctx c in
+    let ca = coerce loc ~src:(Typecheck.exp_ty ctx.fe a) ~dst:t (compile_exp ctx a) in
+    let cb = coerce loc ~src:(Typecheck.exp_ty ctx.fe b) ~dst:t (compile_exp ctx b) in
+    fun () ->
+      charge st Cost.branch;
+      st.stats.n_branches <- st.stats.n_branches + 1;
+      if truthy (cc ()) then ca () else cb ()
+
+and compile_unop ctx op a : unit -> value =
+  let st = ctx.m.st in
+  let ca = compile_exp ctx a in
+  let ta = Typecheck.exp_ty ctx.fe a in
+  match (op, ta) with
+  | Ast.Neg, Types.Tfloat _ ->
+    fun () ->
+      charge st Cost.float_arith;
+      st.stats.n_arith <- st.stats.n_arith + 1;
+      Vfloat (-.as_float (ca ()))
+  | Ast.Neg, Types.Tint ik ->
+    let ik = Types.promote_ikind ik in
+    fun () ->
+      charge st Cost.arith;
+      st.stats.n_arith <- st.stats.n_arith + 1;
+      Vint (trunc_ikind ik (Int64.neg (as_int (ca ()))))
+  | Ast.Lognot, _ ->
+    fun () ->
+      charge st Cost.arith;
+      st.stats.n_arith <- st.stats.n_arith + 1;
+      Vint (if truthy (ca ()) then 0L else 1L)
+  | Ast.Bitnot, Types.Tint ik ->
+    let ik = Types.promote_ikind ik in
+    fun () ->
+      charge st Cost.arith;
+      st.stats.n_arith <- st.stats.n_arith + 1;
+      Vint (trunc_ikind ik (Int64.lognot (as_int (ca ()))))
+  | _, t ->
+    Loc.error Loc.dummy "invalid unary operand type %s" (Types.show_ty t)
+
+and compile_binop ctx op a b whole : unit -> value =
+  let st = ctx.m.st in
+  let loc = Loc.dummy in
+  let ta = Types.decay (Typecheck.exp_ty ctx.fe a) in
+  let tb = Types.decay (Typecheck.exp_ty ctx.fe b) in
+  let ca = compile_exp ctx a and cb = compile_exp ctx b in
+  let elem_size t = Types.sizeof (comps ctx) loc (Types.pointee loc t) in
+  let arith1 () =
+    charge st Cost.arith;
+    st.stats.n_arith <- st.stats.n_arith + 1
+  in
+  match op with
+  | Ast.Land ->
+    fun () ->
+      charge st Cost.branch;
+      st.stats.n_branches <- st.stats.n_branches + 1;
+      Vint (if truthy (ca ()) && truthy (cb ()) then 1L else 0L)
+  | Ast.Lor ->
+    fun () ->
+      charge st Cost.branch;
+      st.stats.n_branches <- st.stats.n_branches + 1;
+      Vint (if truthy (ca ()) || truthy (cb ()) then 1L else 0L)
+  | Ast.Add when Types.is_pointer ta ->
+    let sz = Int64.of_int (elem_size ta) in
+    fun () ->
+      arith1 ();
+      Vint (Int64.add (as_int (ca ())) (Int64.mul (as_int (cb ())) sz))
+  | Ast.Add when Types.is_pointer tb ->
+    let sz = Int64.of_int (elem_size tb) in
+    fun () ->
+      arith1 ();
+      Vint (Int64.add (as_int (cb ())) (Int64.mul (as_int (ca ())) sz))
+  | Ast.Sub when Types.is_pointer ta && Types.is_pointer tb ->
+    let sz = Int64.of_int (elem_size ta) in
+    fun () ->
+      arith1 ();
+      Vint (Int64.div (Int64.sub (as_int (ca ())) (as_int (cb ()))) sz)
+  | Ast.Sub when Types.is_pointer ta ->
+    let sz = Int64.of_int (elem_size ta) in
+    fun () ->
+      arith1 ();
+      Vint (Int64.sub (as_int (ca ())) (Int64.mul (as_int (cb ())) sz))
+  | Ast.Lt | Ast.Gt | Ast.Le | Ast.Ge | Ast.Eq | Ast.Ne ->
+    let cmp : value -> value -> int =
+      if Types.is_float ta || Types.is_float tb then fun x y ->
+        Float.compare (as_float x) (as_float y)
+      else fun x y -> Int64.compare (as_int x) (as_int y)
+    in
+    let test =
+      match op with
+      | Ast.Lt -> fun c -> c < 0
+      | Ast.Gt -> fun c -> c > 0
+      | Ast.Le -> fun c -> c <= 0
+      | Ast.Ge -> fun c -> c >= 0
+      | Ast.Eq -> fun c -> c = 0
+      | Ast.Ne -> fun c -> c <> 0
+      | _ -> assert false
+    in
+    fun () ->
+      arith1 ();
+      Vint (if test (cmp (ca ()) (cb ())) then 1L else 0L)
+  | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div
+    when Types.is_float ta || Types.is_float tb -> (
+    let fk =
+      match Typecheck.exp_ty ctx.fe whole with
+      | Types.Tfloat fk -> fk
+      | t -> Loc.error loc "float op with non-float type %s" (Types.show_ty t)
+    in
+    let cost = if op = Ast.Div then Cost.float_div else Cost.float_arith in
+    let f : float -> float -> float =
+      match op with
+      | Ast.Add -> ( +. )
+      | Ast.Sub -> ( -. )
+      | Ast.Mul -> ( *. )
+      | Ast.Div -> ( /. )
+      | _ -> assert false
+    in
+    fun () ->
+      charge st cost;
+      st.stats.n_arith <- st.stats.n_arith + 1;
+      Vfloat (round_float_kind fk (f (as_float (ca ())) (as_float (cb ())))))
+  | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod | Ast.Shl | Ast.Shr
+  | Ast.Band | Ast.Bor | Ast.Bxor ->
+    let ik =
+      match Typecheck.exp_ty ctx.fe whole with
+      | Types.Tint ik -> ik
+      | t -> Loc.error loc "integer op with non-int type %s" (Types.show_ty t)
+    in
+    let bits = 8 * Types.ikind_size ik in
+    let cost =
+      match op with
+      | Ast.Mul when const_pow2 a || const_pow2 b ->
+        Cost.arith (* strength-reduced to a shift *)
+      | Ast.Mul -> Cost.mul
+      | Ast.Div | Ast.Mod -> Cost.div
+      | _ -> Cost.arith
+    in
+    let f : int64 -> int64 -> int64 =
+      match op with
+      | Ast.Add -> Int64.add
+      | Ast.Sub -> Int64.sub
+      | Ast.Mul -> Int64.mul
+      | Ast.Div ->
+        fun x y ->
+          if y = 0L then runtime_error "division by zero" else Int64.div x y
+      | Ast.Mod ->
+        fun x y ->
+          if y = 0L then runtime_error "modulo by zero" else Int64.rem x y
+      | Ast.Shl -> fun x y -> Int64.shift_left x (Int64.to_int y land (bits - 1))
+      | Ast.Shr ->
+        fun x y -> Int64.shift_right x (Int64.to_int y land (bits - 1))
+      | Ast.Band -> Int64.logand
+      | Ast.Bor -> Int64.logor
+      | Ast.Bxor -> Int64.logxor
+      | _ -> assert false
+    in
+    fun () ->
+      charge st cost;
+      st.stats.n_arith <- st.stats.n_arith + 1;
+      Vint (trunc_ikind ik (f (as_int (ca ())) (as_int (cb ()))))
+
+(** Compile the address computation of an lvalue. *)
+and compile_addr (ctx : ctx) (lv : Ast.lval) : unit -> int =
+  let st = ctx.m.st in
+  let loc = Loc.dummy in
+  match lv with
+  | Ast.Var x -> (
+    match Hashtbl.find_opt ctx.slots x with
+    | Some off -> fun () -> st.frame + off
+    | None ->
+      let addr = global_addr st x in
+      fun () -> addr)
+  | Ast.Deref e ->
+    let ce = compile_exp ctx e in
+    fun () ->
+      let a = Int64.to_int (as_int (ce ())) in
+      if a = 0 then runtime_error "null pointer dereference";
+      a
+  | Ast.Index (base, i) ->
+    let elt =
+      match Typecheck.lval_ty ctx.fe base with
+      | Types.Tarray (elt, _) -> elt
+      | t -> Loc.error loc "Index base is %s, not array" (Types.show_ty t)
+    in
+    let sz = Types.sizeof (comps ctx) loc elt in
+    let cb = compile_addr ctx base in
+    let ci = compile_exp ctx i in
+    (* scaled-index address generation folds into the access (AGU) *)
+    fun () -> cb () + (Int64.to_int (as_int (ci ())) * sz)
+  | Ast.Field (base, f) ->
+    let tag =
+      match Typecheck.lval_ty ctx.fe base with
+      | Types.Tstruct tag -> tag
+      | t -> Loc.error loc "Field base is %s, not struct" (Types.show_ty t)
+    in
+    let off, _ = Types.field_offset (comps ctx) loc tag f in
+    let cb = compile_addr ctx base in
+    fun () -> cb () + off
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec compile_stmt (ctx : ctx) (s : Ast.stmt) : unit -> unit =
+  let st = ctx.m.st in
+  let loc = s.Ast.sloc in
+  match s.Ast.skind with
+  | Ast.Sskip -> fun () -> ()
+  | Ast.Sassign (aid, lv, e) ->
+    let tlv = Typecheck.lval_ty ctx.fe lv in
+    let width = scalar_width (comps ctx) loc tlv in
+    let addr_c = compile_addr ctx lv in
+    let ce =
+      coerce loc ~src:(Typecheck.exp_ty ctx.fe e) ~dst:tlv (compile_exp ctx e)
+    in
+    let in_reg =
+      match lv with Ast.Var x -> Hashtbl.mem ctx.regs x | _ -> false
+    in
+    if in_reg then fun () ->
+      let v = ce () in
+      let addr = addr_c () in
+      do_store_reg st aid addr width;
+      store_scalar st (comps ctx) loc tlv addr v
+    else fun () ->
+      let v = ce () in
+      let addr = addr_c () in
+      do_store st aid addr width;
+      store_scalar st (comps ctx) loc tlv addr v
+  | Ast.Scall (ret, f, args) -> compile_call ctx loc ret f args
+  | Ast.Sseq stmts ->
+    let cs = Array.of_list (List.map (compile_stmt ctx) stmts) in
+    fun () -> Array.iter (fun c -> c ()) cs
+  | Ast.Sif (c, a, b) ->
+    let cc = compile_exp ctx c in
+    let ca = compile_stmt ctx a and cb = compile_stmt ctx b in
+    fun () ->
+      charge st Cost.branch;
+      st.stats.n_branches <- st.stats.n_branches + 1;
+      if truthy (cc ()) then ca () else cb ()
+  | Ast.Swhile (lid, c, body) ->
+    let cc = compile_exp ctx c in
+    let cbody = compile_stmt ctx body in
+    compile_loop st lid cc cbody (fun () -> ())
+  | Ast.Sfor (lid, init, c, step, body) ->
+    let cinit = compile_stmt ctx init in
+    let cc = compile_exp ctx c in
+    let cstep = compile_stmt ctx step in
+    let cbody = compile_stmt ctx body in
+    let loop = compile_loop st lid cc cbody cstep in
+    fun () ->
+      cinit ();
+      loop ()
+  | Ast.Sreturn None -> fun () -> raise (Return_exc (Vint 0L))
+  | Ast.Sreturn (Some e) ->
+    let ce =
+      coerce loc ~src:(Typecheck.exp_ty ctx.fe e) ~dst:ctx.fe.Typecheck.fn_ret
+        (compile_exp ctx e)
+    in
+    fun () -> raise (Return_exc (ce ()))
+  | Ast.Sbreak -> fun () -> raise Break_exc
+  | Ast.Scontinue -> fun () -> raise Continue_exc
+
+(* The [Iter i] event fires BEFORE the condition of iteration [i] is
+   evaluated, so that condition accesses are attributed to the
+   iteration about to run (a condition read of a value written by the
+   previous iteration is then correctly seen as loop-carried). A loop
+   that exits via its condition thus reports one trailing [Iter] whose
+   segment contains only the failing test. *)
+and compile_loop st lid cc cbody cstep : unit -> unit =
+  fun () ->
+    (match st.loop_hook with Some h -> h lid Enter | None -> ());
+    (try
+       let iter = ref 0 in
+       let continue_ = ref true in
+       while !continue_ do
+         (match st.loop_hook with Some h -> h lid (Iter !iter) | None -> ());
+         burn_fuel st;
+         charge st Cost.branch;
+         st.stats.n_branches <- st.stats.n_branches + 1;
+         if truthy (cc ()) then begin
+           (try cbody () with Continue_exc -> ());
+           cstep ();
+           incr iter
+         end
+         else continue_ := false
+       done
+     with Break_exc -> ());
+    match st.loop_hook with Some h -> h lid Exit | None -> ()
+
+and compile_call ctx loc ret f args : unit -> unit =
+  let st = ctx.m.st in
+  let cargs = List.map (compile_exp ctx) args in
+  let store_ret =
+    match ret with
+    | None -> fun (_ : value) -> ()
+    | Some (aid, lv) ->
+      let tlv = Typecheck.lval_ty ctx.fe lv in
+      let width = scalar_width (comps ctx) loc tlv in
+      let addr_c = compile_addr ctx lv in
+      let in_reg =
+        match lv with Ast.Var x -> Hashtbl.mem ctx.regs x | _ -> false
+      in
+      if in_reg then fun v ->
+        let addr = addr_c () in
+        do_store_reg st aid addr width;
+        store_scalar st (comps ctx) loc tlv addr v
+      else fun v ->
+        let addr = addr_c () in
+        do_store st aid addr width;
+        store_scalar st (comps ctx) loc tlv addr v
+  in
+  match Ast.find_fun ctx.m.prog f with
+  | Some _ ->
+    let cf_ref =
+      match Hashtbl.find_opt ctx.m.funs f with
+      | Some r -> r
+      | None -> Loc.error loc "function '%s' not compiled" f
+    in
+    fun () ->
+      burn_fuel st;
+      charge st Cost.call;
+      st.stats.n_calls <- st.stats.n_calls + 1;
+      let cf =
+        match !cf_ref with
+        | Some cf -> cf
+        | None -> runtime_error "function '%s' not yet linked" f
+      in
+      let argv = List.map (fun c -> c ()) cargs in
+      (* push a frame *)
+      let base = (st.sp + 7) land lnot 7 in
+      if base + cf.cf_frame_size > st.stack_limit then
+        runtime_error "stack overflow calling '%s'" f;
+      let old_sp = st.sp and old_frame = st.frame in
+      st.sp <- base + cf.cf_frame_size;
+      st.frame <- base;
+      Memory.fill st.mem ~dst:base ~len:cf.cf_frame_size 0;
+      List.iter2
+        (fun (off, t, aid) v ->
+          let addr = base + off in
+          do_store st aid addr (scalar_width (comps ctx) loc t);
+          store_scalar st (comps ctx) loc t addr v)
+        cf.cf_formals argv;
+      let result =
+        try
+          cf.cf_body ();
+          Vint 0L
+        with Return_exc v -> v
+      in
+      st.sp <- old_sp;
+      st.frame <- old_frame;
+      store_ret result
+  | None ->
+    let bi = compile_builtin ctx loc f in
+    fun () ->
+      charge st Cost.call;
+      st.stats.n_calls <- st.stats.n_calls + 1;
+      let argv = List.map (fun c -> c ()) cargs in
+      store_ret (bi argv)
+
+(* ------------------------------------------------------------------ *)
+(* Builtins                                                            *)
+(* ------------------------------------------------------------------ *)
+
+and compile_builtin ctx loc name : value list -> value =
+  let st = ctx.m.st in
+  let int1 f = function
+    | [ v ] -> f (as_int v)
+    | _ -> runtime_error "bad arity for %s" name
+  in
+  let float1 f = function
+    | [ v ] ->
+      charge st Cost.float_fn;
+      Vfloat (f (as_float v))
+    | _ -> runtime_error "bad arity for %s" name
+  in
+  match name with
+  | "malloc" ->
+    int1 (fun n ->
+        charge st Cost.malloc;
+        st.stats.n_allocs <- st.stats.n_allocs + 1;
+        Vint (Int64.of_int (Memory.alloc st.mem (Int64.to_int n))))
+  | "calloc" -> (
+    function
+    | [ a; b ] ->
+      charge st Cost.malloc;
+      st.stats.n_allocs <- st.stats.n_allocs + 1;
+      Vint
+        (Int64.of_int
+           (Memory.alloc st.mem (Int64.to_int (as_int a) * Int64.to_int (as_int b))))
+    | _ -> runtime_error "bad arity for calloc")
+  | "realloc" -> (
+    function
+    | [ p; n ] ->
+      charge st (Cost.malloc + Cost.free);
+      st.stats.n_allocs <- st.stats.n_allocs + 1;
+      let p = Int64.to_int (as_int p) and n = Int64.to_int (as_int n) in
+      if p = 0 then Vint (Int64.of_int (Memory.alloc st.mem n))
+      else begin
+        let old = Memory.block_size st.mem p in
+        let fresh = Memory.alloc st.mem n in
+        Memory.blit st.mem ~src:p ~dst:fresh ~len:(min old n);
+        (match st.free_hook with Some h -> h p old | None -> ());
+        Memory.free st.mem p;
+        Vint (Int64.of_int fresh)
+      end
+    | _ -> runtime_error "bad arity for realloc")
+  | "free" ->
+    int1 (fun p ->
+        charge st Cost.free;
+        let base = Int64.to_int p in
+        (if base <> 0 then
+           match st.free_hook with
+           | Some h -> h base (Memory.block_size st.mem base)
+           | None -> ());
+        Memory.free st.mem base;
+        Vint 0L)
+  | "printf" -> (
+    function
+    | fmt :: rest ->
+      let s = format_printf st (Int64.to_int (as_int fmt)) rest in
+      Buffer.add_string st.out s;
+      charge st (Cost.io_char * String.length s);
+      Vint (Int64.of_int (String.length s))
+    | [] -> runtime_error "printf with no format")
+  | "putchar" ->
+    int1 (fun c ->
+        Buffer.add_char st.out (Char.chr (Int64.to_int c land 0xff));
+        charge st Cost.io_char;
+        Vint c)
+  | "puts" ->
+    int1 (fun p ->
+        let s = Memory.read_cstring st.mem (Int64.to_int p) in
+        Buffer.add_string st.out s;
+        Buffer.add_char st.out '\n';
+        charge st (Cost.io_char * (String.length s + 1));
+        Vint 0L)
+  | "memset" -> (
+    function
+    | [ p; c; n ] ->
+      let p = Int64.to_int (as_int p) and n = Int64.to_int (as_int n) in
+      Memory.fill st.mem ~dst:p ~len:n (Int64.to_int (as_int c));
+      charge st (n / 8 * Cost.store);
+      Vint (Int64.of_int p)
+    | _ -> runtime_error "bad arity for memset")
+  | "memcpy" -> (
+    function
+    | [ d; s; n ] ->
+      let d = Int64.to_int (as_int d)
+      and s = Int64.to_int (as_int s)
+      and n = Int64.to_int (as_int n) in
+      Memory.blit st.mem ~src:s ~dst:d ~len:n;
+      charge st (n / 8 * (Cost.load + Cost.store));
+      Vint (Int64.of_int d)
+    | _ -> runtime_error "bad arity for memcpy")
+  | "strlen" ->
+    int1 (fun p ->
+        let s = Memory.read_cstring st.mem (Int64.to_int p) in
+        charge st (String.length s * Cost.load);
+        Vint (Int64.of_int (String.length s)))
+  | "abs" | "labs" -> int1 (fun v -> Vint (Int64.abs v))
+  | "sqrt" -> float1 sqrt
+  | "fabs" -> float1 Float.abs
+  | "floor" -> float1 Float.floor
+  | "exp" -> float1 Stdlib.exp
+  | "log" -> float1 Stdlib.log
+  | "rand" -> (
+    function
+    | [] ->
+      st.rand_state <-
+        Int64.add
+          (Int64.mul st.rand_state 6364136223846793005L)
+          1442695040888963407L;
+      Vint (Int64.logand (Int64.shift_right_logical st.rand_state 33) 0x3FFFFFFFL)
+    | _ -> runtime_error "bad arity for rand")
+  | "srand" ->
+    int1 (fun v ->
+        st.rand_state <- Int64.add v 0x9E3779B97F4A7C15L;
+        Vint 0L)
+  | "exit" -> int1 (fun v -> raise (Exit_program (Int64.to_int v)))
+  | "assert" ->
+    int1 (fun v ->
+        if v = 0L then runtime_error "assertion failed at %s" (Loc.to_string loc);
+        Vint 0L)
+  | _ -> Loc.error loc "unknown builtin '%s'" name
+
+(** Minimal printf: supports %d %i %u %c %s %x %f %g %e %%, the 'l'
+    length modifier, width, '0'/'-' flags and precision. *)
+and format_printf st fmt_addr (args : value list) : string =
+  let fmt = Memory.read_cstring st.mem fmt_addr in
+  let buf = Buffer.create (String.length fmt) in
+  let args = ref args in
+  let pop () =
+    match !args with
+    | [] -> runtime_error "printf: not enough arguments"
+    | v :: rest ->
+      args := rest;
+      v
+  in
+  let n = String.length fmt in
+  let i = ref 0 in
+  while !i < n do
+    let c = fmt.[!i] in
+    if c <> '%' then begin
+      Buffer.add_char buf c;
+      incr i
+    end
+    else begin
+      incr i;
+      (* flags *)
+      let minus = ref false and zero = ref false in
+      let rec flags () =
+        if !i < n then
+          match fmt.[!i] with
+          | '-' ->
+            minus := true;
+            incr i;
+            flags ()
+          | '0' ->
+            zero := true;
+            incr i;
+            flags ()
+          | _ -> ()
+      in
+      flags ();
+      let num () =
+        let start = !i in
+        while !i < n && fmt.[!i] >= '0' && fmt.[!i] <= '9' do incr i done;
+        if !i > start then int_of_string (String.sub fmt start (!i - start))
+        else 0
+      in
+      let width = num () in
+      let prec = if !i < n && fmt.[!i] = '.' then (incr i; num ()) else -1 in
+      while !i < n && (fmt.[!i] = 'l' || fmt.[!i] = 'h') do incr i done;
+      if !i >= n then runtime_error "printf: truncated conversion";
+      let conv = fmt.[!i] in
+      incr i;
+      let pad s =
+        let len = String.length s in
+        if len >= width then s
+        else if !minus then s ^ String.make (width - len) ' '
+        else if !zero && not !minus then
+          (* keep sign before zeros *)
+          if len > 0 && (s.[0] = '-' || s.[0] = '+') then
+            String.make 1 s.[0]
+            ^ String.make (width - len) '0'
+            ^ String.sub s 1 (len - 1)
+          else String.make (width - len) '0' ^ s
+        else String.make (width - len) ' ' ^ s
+      in
+      let text =
+        match conv with
+        | '%' -> "%"
+        | 'd' | 'i' | 'u' -> Int64.to_string (as_int (pop ()))
+        | 'x' -> Printf.sprintf "%Lx" (as_int (pop ()))
+        | 'c' -> String.make 1 (Char.chr (Int64.to_int (as_int (pop ())) land 0xff))
+        | 's' -> Memory.read_cstring st.mem (Int64.to_int (as_int (pop ())))
+        | 'f' -> Printf.sprintf "%.*f" (if prec >= 0 then prec else 6) (as_float (pop ()))
+        | 'e' -> Printf.sprintf "%.*e" (if prec >= 0 then prec else 6) (as_float (pop ()))
+        | 'g' -> Printf.sprintf "%.*g" (if prec >= 0 then prec else 6) (as_float (pop ()))
+        | c -> runtime_error "printf: unsupported conversion '%%%c'" c
+      in
+      Buffer.add_string buf (pad text)
+    end
+  done;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Program loading                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let frame_layout comps (f : Ast.fundef) :
+    int * (string * (int * Types.ty)) list =
+  let loc = Loc.dummy in
+  List.fold_left
+    (fun (off, slots) (name, t) ->
+      let al = Types.alignof comps loc t in
+      let off = Types.roundup off al in
+      (off + Types.sizeof comps loc t, (name, (off, t)) :: slots))
+    (0, [])
+    (f.Ast.fformals @ f.Ast.flocals)
+  |> fun (size, slots) -> (Types.roundup size 8, List.rev slots)
+
+let rec eval_init m ctx (t : Types.ty) addr (ini : Ast.init) : unit =
+  let loc = Loc.dummy in
+  let comps = m.prog.Ast.comps in
+  match (t, ini) with
+  | _, Ast.Iexp e when Types.is_scalar (Types.decay t) ->
+    let c =
+      coerce loc ~src:(Typecheck.exp_ty ctx.fe e) ~dst:t (compile_exp ctx e)
+    in
+    store_scalar m.st comps loc t addr (c ())
+  | Types.Tarray (elt, n), Ast.Ilist items ->
+    let sz = Types.sizeof comps loc elt in
+    List.iteri
+      (fun i item ->
+        if i >= n then runtime_error "too many initializers";
+        eval_init m ctx elt (addr + (i * sz)) item)
+      items
+  | Types.Tstruct tag, Ast.Ilist items ->
+    let c = Types.find_composite comps loc tag in
+    List.iteri
+      (fun i item ->
+        match List.nth_opt c.Types.cfields i with
+        | None -> runtime_error "too many initializers for struct %s" tag
+        | Some (fname, ft) ->
+          let off, _ = Types.field_offset comps loc tag fname in
+          eval_init m ctx ft (addr + off) item)
+      items
+  | _ -> runtime_error "invalid initializer shape"
+
+(** Compile a program into a runnable machine. *)
+let load (prog : Ast.program) : t =
+  let st = make_state () in
+  let m = { st; prog; funs = Hashtbl.create 16; inits = [] } in
+  let env = Typecheck.make_env prog in
+  (* Allocate all globals first so compiled code can reference them. *)
+  List.iter
+    (fun (name, t, _) ->
+      let size = Types.sizeof prog.Ast.comps Loc.dummy t in
+      Hashtbl.replace st.global_addrs name (Memory.alloc st.mem size))
+    (Ast.global_vars prog);
+  (* Pre-register function slots for mutual recursion. *)
+  List.iter
+    (fun (f : Ast.fundef) -> Hashtbl.replace m.funs f.Ast.fname (ref None))
+    (Ast.functions prog);
+  (* Compile each function. *)
+  List.iter
+    (fun (f : Ast.fundef) ->
+      let fe = Typecheck.fenv_of env f in
+      let frame_size, slot_list = frame_layout prog.Ast.comps f in
+      let slots = Hashtbl.create 16 in
+      List.iter (fun (n, (off, _)) -> Hashtbl.replace slots n off) slot_list;
+      (* register-allocatable locals: scalar and never address-taken *)
+      let regs = Hashtbl.create 16 in
+      let addr_taken = Hashtbl.create 8 in
+      let rec scan_at_exp (e : Ast.exp) =
+        match e with
+        | Ast.Addr lv -> scan_at_lval_addr lv
+        | Ast.Lval (_, lv) -> scan_at_lval lv
+        | Ast.Unop (_, a) | Ast.Cast (_, a) | Ast.SizeofExp a -> scan_at_exp a
+        | Ast.Binop (_, a, b) ->
+          scan_at_exp a;
+          scan_at_exp b
+        | Ast.Cond (a, b, c) ->
+          scan_at_exp a;
+          scan_at_exp b;
+          scan_at_exp c
+        | Ast.Call (_, args) -> List.iter scan_at_exp args
+        | Ast.Const _ | Ast.SizeofType _ -> ()
+      and scan_at_lval_addr lv =
+        (match lv with
+        | Ast.Var x -> Hashtbl.replace addr_taken x ()
+        | _ -> ());
+        scan_at_lval lv
+      and scan_at_lval lv =
+        match lv with
+        | Ast.Var _ -> ()
+        | Ast.Deref e -> scan_at_exp e
+        | Ast.Index (b, i) ->
+          scan_at_lval b;
+          scan_at_exp i
+        | Ast.Field (b, _) -> scan_at_lval b
+      in
+      ignore
+        (Visit.map_stmt_exps
+           ~fe:(fun e ->
+             scan_at_exp e;
+             e)
+           ~flv:(fun lv ->
+             scan_at_lval lv;
+             lv)
+           f.Ast.fbody);
+      List.iter
+        (fun (x, t) ->
+          if Types.is_scalar (Types.decay t) && not (Hashtbl.mem addr_taken x)
+          then
+            match t with
+            | Types.Tarray _ -> ()
+            | _ -> Hashtbl.replace regs x ())
+        (f.Ast.fformals @ f.Ast.flocals);
+      let ctx = { m; fe; slots; regs } in
+      let body = compile_stmt ctx f.Ast.fbody in
+      let formals =
+        List.map
+          (fun (n, _) ->
+            let off, t = List.assoc n slot_list in
+            (off, t, Ast.fresh_aid prog))
+          f.Ast.fformals
+      in
+      (Hashtbl.find m.funs f.Ast.fname) :=
+        Some
+          {
+            cf_frame_size = frame_size;
+            cf_formals = formals;
+            cf_body = body;
+            cf_ret = f.Ast.freturn;
+          })
+    (Ast.functions prog);
+  (* Global initializers run in declaration order in a pseudo-frame. *)
+  let dummy_fun =
+    {
+      Ast.fname = "__global_init";
+      freturn = Types.Tvoid;
+      fformals = [];
+      flocals = [];
+      fbody = Ast.skip;
+    }
+  in
+  let init_ctx =
+    {
+      m;
+      fe = Typecheck.fenv_of env dummy_fun;
+      slots = Hashtbl.create 1;
+      regs = Hashtbl.create 1;
+    }
+  in
+  m.inits <-
+    List.filter_map
+      (fun (name, t, ini) ->
+        Option.map
+          (fun ini ->
+            let addr = Hashtbl.find st.global_addrs name in
+            fun () -> eval_init m init_ctx t addr ini)
+          ini)
+      (Ast.global_vars prog);
+  m
+
+(** Run [main]; returns the exit code. *)
+let run (m : t) : int =
+  List.iter (fun f -> f ()) m.inits;
+  match Hashtbl.find_opt m.funs "main" with
+  | None | Some { contents = None } -> runtime_error "no main function"
+  | Some { contents = Some cf } -> (
+    if cf.cf_formals <> [] then runtime_error "main must take no arguments";
+    let base = (m.st.sp + 7) land lnot 7 in
+    m.st.sp <- base + cf.cf_frame_size;
+    m.st.frame <- base;
+    try
+      (try
+         cf.cf_body ();
+         0
+       with Return_exc v -> Int64.to_int (as_int v))
+    with Exit_program code -> code)
+
+(** Convenience: load + run, returning (exit code, captured stdout). *)
+let run_program (prog : Ast.program) : int * string =
+  let m = load prog in
+  let code = run m in
+  (code, output m.st)

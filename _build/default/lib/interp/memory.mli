@@ -1,0 +1,53 @@
+(** Byte-addressed flat memory for the MiniC interpreter.
+
+    A single growable byte arena backs globals, the stack and the heap.
+    Address 0 is the null pointer; the first {!base_address} bytes are
+    never handed out, so small integers cast to pointers fault. A
+    size-bucketed free list recycles freed blocks, and live-byte peak
+    tracking feeds the paper's Figure 14 (memory-use multiples). *)
+
+type t
+
+(** Raised on out-of-bounds or otherwise invalid memory operations. *)
+exception Fault of string
+
+(** Lowest address ever handed out. *)
+val base_address : int
+
+val create : ?initial:int -> unit -> t
+
+(** Allocate [size] usable bytes (zeroed); returns the base address.
+    [track:false] excludes the block from live/peak accounting (used
+    for the simulated call stack, which is machinery rather than
+    program data). *)
+val alloc : ?track:bool -> t -> int -> int
+
+(** Usable size of a live allocation, given its base address. *)
+val block_size : t -> int -> int
+
+(** Free a block by base address; freeing address 0 is a no-op. *)
+val free : t -> int -> unit
+
+(** Little-endian loads/stores of 1/2/4/8 bytes; integer loads
+    sign-extend (MiniC's all-signed model). *)
+val load : t -> int -> int -> int64
+
+val store : t -> int -> int -> int64 -> unit
+val load_float : t -> int -> int -> float
+val store_float : t -> int -> int -> float -> unit
+val blit : t -> src:int -> dst:int -> len:int -> unit
+val fill : t -> dst:int -> len:int -> int -> unit
+
+(** Store an OCaml string as a NUL-terminated C string; returns its
+    address. *)
+val write_cstring : t -> string -> int
+
+val read_cstring : t -> int -> string
+
+(** Currently live tracked bytes (bucket-rounded). *)
+val live_bytes : t -> int
+
+(** High-water mark of {!live_bytes}. *)
+val peak_bytes : t -> int
+
+val alloc_count : t -> int

@@ -1,0 +1,1 @@
+lib/minic/ast.pp.ml: Hashtbl Int64 List Loc Ppx_deriving_runtime Printf String Types

@@ -1,0 +1,1 @@
+lib/minic/lexer.pp.ml: Array Buffer Char Int64 List Loc Printf String Types

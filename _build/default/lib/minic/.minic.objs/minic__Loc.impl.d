@@ -1,0 +1,1 @@
+lib/minic/loc.pp.ml: Ppx_deriving_runtime Printf

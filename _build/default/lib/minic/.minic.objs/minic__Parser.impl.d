@@ -1,0 +1,1 @@
+lib/minic/parser.pp.ml: Array Ast Hashtbl Int64 Lexer List Loc Option String Types

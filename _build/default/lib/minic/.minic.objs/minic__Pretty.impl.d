@@ -1,0 +1,1 @@
+lib/minic/pretty.pp.ml: Ast Buffer Char Int64 List Printf String Types

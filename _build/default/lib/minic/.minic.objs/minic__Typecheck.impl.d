@@ -1,0 +1,1 @@
+lib/minic/typecheck.pp.ml: Ast Hashtbl List Loc Parser Printf Types

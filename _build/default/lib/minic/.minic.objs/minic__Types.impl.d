@@ -1,0 +1,1 @@
+lib/minic/types.pp.ml: Hashtbl List Loc Ppx_deriving_runtime String

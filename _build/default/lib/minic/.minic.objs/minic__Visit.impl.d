@@ -1,0 +1,1 @@
+lib/minic/visit.pp.ml: Ast List Option Ppx_deriving_runtime

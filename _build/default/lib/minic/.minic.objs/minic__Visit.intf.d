@@ -1,0 +1,1 @@
+lib/minic/visit.pp.mli: Ast Format

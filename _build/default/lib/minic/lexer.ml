@@ -1,0 +1,241 @@
+(** Hand-written lexer for MiniC (no menhir/ocamllex available offline).
+
+    Produces a token array consumed by the recursive-descent {!Parser}.
+    [#pragma] lines become [PRAGMA] tokens so the parser can mark the
+    following loop as a parallelization candidate. *)
+
+type token =
+  | IDENT of string
+  | INTLIT of int64 * Types.ikind
+  | FLOATLIT of float * Types.fkind
+  | STRLIT of string
+  | KW of string  (** keywords: int, char, struct, if, while, ... *)
+  | PUNCT of string  (** operators and delimiters, longest-match *)
+  | PRAGMA of string  (** contents of a [#pragma] line, trimmed *)
+  | EOF
+
+type t = { tok : token; loc : Loc.t }
+
+let keywords =
+  [
+    "void"; "char"; "short"; "int"; "long"; "unsigned"; "float"; "double";
+    "struct"; "if"; "else"; "while"; "for"; "do"; "return"; "break";
+    "continue"; "sizeof"; "typedef"; "const"; "static"; "extern";
+  ]
+
+let is_keyword s = List.mem s keywords
+
+(* Multi-character punctuation, longest first so greedy matching works. *)
+let puncts =
+  [
+    "<<="; ">>="; "->"; "++"; "--"; "<<"; ">>"; "<="; ">="; "=="; "!=";
+    "&&"; "||"; "+="; "-="; "*="; "/="; "%="; "&="; "|="; "^="; "+"; "-";
+    "*"; "/"; "%"; "&"; "|"; "^"; "~"; "!"; "<"; ">"; "="; ";"; ","; ".";
+    "("; ")"; "["; "]"; "{"; "}"; "?"; ":";
+  ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_char c = is_ident_start c || is_digit c
+let is_hex_digit c =
+  is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+type state = {
+  src : string;
+  file : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;  (** offset of the beginning of the current line *)
+}
+
+let cur_loc st = Loc.make ~file:st.file ~line:st.line ~col:(st.pos - st.bol + 1)
+let peek st i = if st.pos + i < String.length st.src then st.src.[st.pos + i] else '\000'
+let cur st = peek st 0
+
+let advance st =
+  (if cur st = '\n' then begin
+     st.line <- st.line + 1;
+     st.bol <- st.pos + 1
+   end);
+  st.pos <- st.pos + 1
+
+let rec skip_ws_and_comments st =
+  match cur st with
+  | ' ' | '\t' | '\r' | '\n' ->
+    advance st;
+    skip_ws_and_comments st
+  | '/' when peek st 1 = '/' ->
+    while cur st <> '\n' && cur st <> '\000' do advance st done;
+    skip_ws_and_comments st
+  | '/' when peek st 1 = '*' ->
+    let loc = cur_loc st in
+    advance st;
+    advance st;
+    let rec close () =
+      match cur st with
+      | '\000' -> Loc.error loc "unterminated comment"
+      | '*' when peek st 1 = '/' ->
+        advance st;
+        advance st
+      | _ ->
+        advance st;
+        close ()
+    in
+    close ();
+    skip_ws_and_comments st
+  | _ -> ()
+
+let lex_ident st =
+  let start = st.pos in
+  while is_ident_char (cur st) do advance st done;
+  String.sub st.src start (st.pos - start)
+
+let lex_number st loc =
+  let start = st.pos in
+  if cur st = '0' && (peek st 1 = 'x' || peek st 1 = 'X') then begin
+    advance st;
+    advance st;
+    while is_hex_digit (cur st) do advance st done;
+    let text = String.sub st.src start (st.pos - start) in
+    let v =
+      try Int64.of_string text
+      with _ -> Loc.error loc "bad hex literal '%s'" text
+    in
+    let ik = if cur st = 'L' || cur st = 'l' then (advance st; Types.ILong) else Types.IInt in
+    INTLIT (v, ik)
+  end
+  else begin
+    while is_digit (cur st) do advance st done;
+    let is_float = ref false in
+    if cur st = '.' && is_digit (peek st 1) then begin
+      is_float := true;
+      advance st;
+      while is_digit (cur st) do advance st done
+    end;
+    if cur st = 'e' || cur st = 'E' then begin
+      is_float := true;
+      advance st;
+      if cur st = '+' || cur st = '-' then advance st;
+      while is_digit (cur st) do advance st done
+    end;
+    let text = String.sub st.src start (st.pos - start) in
+    if !is_float then begin
+      let fk = if cur st = 'f' || cur st = 'F' then (advance st; Types.FFloat) else Types.FDouble in
+      match float_of_string_opt text with
+      | Some f -> FLOATLIT (f, fk)
+      | None -> Loc.error loc "bad float literal '%s'" text
+    end
+    else begin
+      let ik = if cur st = 'L' || cur st = 'l' then (advance st; Types.ILong) else Types.IInt in
+      match Int64.of_string_opt text with
+      | Some v -> INTLIT (v, ik)
+      | None -> Loc.error loc "bad integer literal '%s'" text
+    end
+  end
+
+let lex_escape st loc =
+  advance st;
+  (* consume backslash *)
+  let c = cur st in
+  advance st;
+  match c with
+  | 'n' -> '\n'
+  | 't' -> '\t'
+  | 'r' -> '\r'
+  | '0' -> '\000'
+  | '\\' -> '\\'
+  | '\'' -> '\''
+  | '"' -> '"'
+  | c -> Loc.error loc "unknown escape '\\%c'" c
+
+let lex_string st loc =
+  advance st;
+  (* opening quote *)
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match cur st with
+    | '\000' | '\n' -> Loc.error loc "unterminated string literal"
+    | '"' -> advance st
+    | '\\' ->
+      Buffer.add_char buf (lex_escape st loc);
+      go ()
+    | c ->
+      Buffer.add_char buf c;
+      advance st;
+      go ()
+  in
+  go ();
+  STRLIT (Buffer.contents buf)
+
+let lex_char st loc =
+  advance st;
+  let c =
+    match cur st with
+    | '\\' -> lex_escape st loc
+    | c ->
+      advance st;
+      c
+  in
+  if cur st <> '\'' then Loc.error loc "unterminated char literal";
+  advance st;
+  INTLIT (Int64.of_int (Char.code c), Types.IChar)
+
+let lex_pragma st =
+  let start = st.pos in
+  while cur st <> '\n' && cur st <> '\000' do advance st done;
+  let line = String.sub st.src start (st.pos - start) in
+  PRAGMA (String.trim line)
+
+let try_punct st =
+  List.find_opt
+    (fun p ->
+      let n = String.length p in
+      st.pos + n <= String.length st.src
+      && String.equal (String.sub st.src st.pos n) p)
+    puncts
+
+let next_token st : t =
+  skip_ws_and_comments st;
+  let loc = cur_loc st in
+  let tok =
+    match cur st with
+    | '\000' -> EOF
+    | '#' ->
+      advance st;
+      lex_pragma st
+    | '"' -> lex_string st loc
+    | '\'' -> lex_char st loc
+    | c when is_ident_start c ->
+      let id = lex_ident st in
+      if is_keyword id then KW id else IDENT id
+    | c when is_digit c -> lex_number st loc
+    | _ -> (
+      match try_punct st with
+      | Some p ->
+        st.pos <- st.pos + String.length p;
+        PUNCT p
+      | None -> Loc.error loc "unexpected character '%c'" (cur st))
+  in
+  { tok; loc }
+
+(** Tokenize a whole source string. The result always ends with [EOF]. *)
+let tokenize ?(file = "<string>") src : t array =
+  let st = { src; file; pos = 0; line = 1; bol = 0 } in
+  let acc = ref [] in
+  let rec go () =
+    let t = next_token st in
+    acc := t :: !acc;
+    if t.tok <> EOF then go ()
+  in
+  go ();
+  Array.of_list (List.rev !acc)
+
+let show_token = function
+  | IDENT s -> Printf.sprintf "identifier '%s'" s
+  | INTLIT (v, _) -> Printf.sprintf "integer %Ld" v
+  | FLOATLIT (f, _) -> Printf.sprintf "float %g" f
+  | STRLIT s -> Printf.sprintf "string %S" s
+  | KW s -> Printf.sprintf "keyword '%s'" s
+  | PUNCT s -> Printf.sprintf "'%s'" s
+  | PRAGMA s -> Printf.sprintf "#%s" s
+  | EOF -> "end of input"

@@ -1,0 +1,24 @@
+(** Hand-written lexer for MiniC.
+
+    Produces a token array consumed by the recursive-descent
+    {!Parser}. [#pragma] lines become {!PRAGMA} tokens so the parser
+    can mark the following loop as a parallelization candidate. *)
+
+type token =
+  | IDENT of string
+  | INTLIT of int64 * Types.ikind
+  | FLOATLIT of float * Types.fkind
+  | STRLIT of string
+  | KW of string  (** keywords: int, char, struct, if, while, ... *)
+  | PUNCT of string  (** operators and delimiters, longest-match *)
+  | PRAGMA of string  (** contents of a [#pragma] line, trimmed *)
+  | EOF
+
+type t = { tok : token; loc : Loc.t }
+
+(** Tokenize a whole source string; the result always ends with
+    {!EOF}. Raises {!Loc.Error} on malformed input. *)
+val tokenize : ?file:string -> string -> t array
+
+(** Human-readable description of a token, for error messages. *)
+val show_token : token -> string

@@ -1,0 +1,14 @@
+(** Source locations for error reporting throughout the frontend. *)
+
+type t = { file : string; line : int; col : int } [@@deriving show, eq]
+
+let dummy = { file = "<builtin>"; line = 0; col = 0 }
+
+let make ~file ~line ~col = { file; line; col }
+
+let to_string { file; line; col } = Printf.sprintf "%s:%d:%d" file line col
+
+(** Raised by the lexer, parser and type checker on malformed input. *)
+exception Error of t * string
+
+let error loc fmt = Printf.ksprintf (fun msg -> raise (Error (loc, msg))) fmt

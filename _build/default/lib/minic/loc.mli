@@ -1,0 +1,19 @@
+(** Source locations for error reporting throughout the frontend. *)
+
+type t = { file : string; line : int; col : int }
+
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+val equal : t -> t -> bool
+
+(** A location that points nowhere, used for generated code. *)
+val dummy : t
+
+val make : file:string -> line:int -> col:int -> t
+val to_string : t -> string
+
+(** Raised by the lexer, parser and type checker on malformed input. *)
+exception Error of t * string
+
+(** [error loc fmt ...] raises {!Error} with a formatted message. *)
+val error : t -> ('a, unit, string, 'b) format4 -> 'a

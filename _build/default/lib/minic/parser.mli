@@ -1,0 +1,18 @@
+(** Recursive-descent parser for MiniC.
+
+    Supports struct definitions, global variables with (aggregate)
+    initializers, function definitions, C89-style statements, and full
+    expression syntax with C precedence, including casts, [sizeof],
+    [?:], compound assignment and [++]/[--] (desugared during
+    parsing). A [#pragma parallel] line marks the next loop as a
+    parallelization candidate, recorded in
+    [program.parallel_loops]. *)
+
+(** Parse a complete translation unit. The result is {e not} yet
+    type-checked or normalized; pass it to {!Typecheck.check} (or use
+    {!Typecheck.parse_and_check}). Raises {!Loc.Error}. *)
+val parse_program : ?file:string -> string -> Ast.program
+
+(** Parse a single expression; used by tests and analysis tooling.
+    Raises {!Loc.Error} on malformed input or trailing tokens. *)
+val parse_exp_string : ?file:string -> string -> Ast.exp

@@ -1,0 +1,322 @@
+(** Pretty-printer: renders MiniC back to C-like source.
+
+    The output of the expansion pass is meant to be read the way the
+    paper presents its transformed examples (Figures 1, 3, 4), so the
+    printer aims for compact, conventional C. Round-tripping through
+    {!Parser} is property-tested. *)
+
+open Ast
+
+let ikind_name = function
+  | Types.IChar -> "char"
+  | Types.IShort -> "short"
+  | Types.IInt -> "int"
+  | Types.ILong -> "long"
+
+let fkind_name = function Types.FFloat -> "float" | Types.FDouble -> "double"
+
+(** Render [ty] around declarator text [d] (C inside-out declarators). *)
+let rec ty_decl (t : Types.ty) (d : string) : string =
+  match t with
+  | Tvoid -> "void " ^ d
+  | Tint ik -> ikind_name ik ^ " " ^ d
+  | Tfloat fk -> fkind_name fk ^ " " ^ d
+  | Tstruct tag -> "struct " ^ tag ^ " " ^ d
+  | Tptr inner -> ty_decl inner ("*" ^ d)
+  | Tarray (elt, n) ->
+    let d = if String.length d > 0 && d.[0] = '*' then "(" ^ d ^ ")" else d in
+    ty_decl elt (Printf.sprintf "%s[%d]" d n)
+  | Tfun (ret, args) ->
+    let args = String.concat ", " (List.map (fun a -> ty_decl a "") args) in
+    ty_decl ret (Printf.sprintf "%s(%s)" d args)
+
+let ty_name t = String.trim (ty_decl t "")
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\000' -> Buffer.add_string buf "\\0"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let binop_text = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Shl -> "<<"
+  | Shr -> ">>"
+  | Band -> "&"
+  | Bor -> "|"
+  | Bxor -> "^"
+  | Lt -> "<"
+  | Gt -> ">"
+  | Le -> "<="
+  | Ge -> ">="
+  | Eq -> "=="
+  | Ne -> "!="
+  | Land -> "&&"
+  | Lor -> "||"
+
+let binop_prec = function
+  | Mul | Div | Mod -> 10
+  | Add | Sub -> 9
+  | Shl | Shr -> 8
+  | Lt | Gt | Le | Ge -> 7
+  | Eq | Ne -> 6
+  | Band -> 5
+  | Bxor -> 4
+  | Bor -> 3
+  | Land -> 2
+  | Lor -> 1
+
+(* Expressions are printed with minimal parentheses: a subexpression is
+   parenthesized when its precedence is at most its context's. *)
+let rec exp_text ?(prec = -1) (e : exp) : string =
+  let text =
+    match e with
+    | Const (Cint (v, Types.IChar))
+      when v >= 32L && v < 127L && v <> Int64.of_int (Char.code '\'')
+           && v <> Int64.of_int (Char.code '\\') ->
+      Printf.sprintf "'%c'" (Char.chr (Int64.to_int v))
+    | Const (Cint (v, Types.ILong)) -> Printf.sprintf "%LdL" v
+    | Const (Cint (v, _)) -> Int64.to_string v
+    | Const (Cfloat (f, fk)) ->
+      let s = Printf.sprintf "%.17g" f in
+      let s = if String.contains s '.' || String.contains s 'e' then s else s ^ ".0" in
+      if fk = Types.FFloat then s ^ "f" else s
+    | Const (Cstr s) -> Printf.sprintf "\"%s\"" (escape_string s)
+    | Lval (_, lv) -> lval_text lv
+    | Addr lv -> "&" ^ parenthesize_lval lv
+    | Unop (Neg, e) -> "-" ^ exp_text ~prec:11 e
+    | Unop (Lognot, e) -> "!" ^ exp_text ~prec:11 e
+    | Unop (Bitnot, e) -> "~" ^ exp_text ~prec:11 e
+    | Binop (op, a, b) ->
+      let p = binop_prec op in
+      Printf.sprintf "%s %s %s"
+        (exp_text ~prec:(p - 1) a)
+        (binop_text op)
+        (exp_text ~prec:p b)
+    | Cast (t, e) -> Printf.sprintf "(%s)%s" (ty_name t) (exp_text ~prec:11 e)
+    | SizeofType t -> Printf.sprintf "sizeof(%s)" (ty_name t)
+    | SizeofExp e -> Printf.sprintf "sizeof %s" (exp_text ~prec:11 e)
+    | Call (f, args) ->
+      Printf.sprintf "%s(%s)" f (String.concat ", " (List.map exp_text args))
+    | Cond (c, a, b) ->
+      Printf.sprintf "%s ? %s : %s" (exp_text ~prec:1 c) (exp_text a)
+        (exp_text ~prec:0 b)
+  in
+  let my_prec =
+    match e with
+    | Binop (op, _, _) -> binop_prec op
+    | Cond _ -> 0
+    | Unop _ | Cast _ | Addr _ -> 11
+    | _ -> 12
+  in
+  if my_prec <= prec then "(" ^ text ^ ")" else text
+
+and lval_text (lv : lval) : string =
+  match lv with
+  | Var x -> x
+  | Deref (Lval (_, l)) -> "*" ^ parenthesize_lval l
+  | Deref e -> "*" ^ exp_text ~prec:11 e
+  | Index (l, i) -> Printf.sprintf "%s[%s]" (parenthesize_lval l) (exp_text i)
+  | Field (Deref e, f) -> Printf.sprintf "%s->%s" (exp_text ~prec:11 e) f
+  | Field (l, f) -> Printf.sprintf "%s.%s" (parenthesize_lval l) f
+
+(* A base lval in a postfix position needs parens when it is a deref. *)
+and parenthesize_lval lv =
+  match lv with
+  | Deref _ -> (
+    match lv with
+    | Deref (Lval (_, l)) -> "(*" ^ parenthesize_lval l ^ ")"
+    | Deref e -> "(*" ^ exp_text ~prec:11 e ^ ")"
+    | _ -> assert false)
+  | _ -> lval_text lv
+
+(* ------------------------------------------------------------------ *)
+
+let buf_indent buf n = Buffer.add_string buf (String.make (2 * n) ' ')
+
+let rec stmt_to_buf buf ind (s : stmt) =
+  match s.skind with
+  | Sskip ->
+    buf_indent buf ind;
+    Buffer.add_string buf ";\n"
+  | Sassign (_, lv, e) ->
+    buf_indent buf ind;
+    Buffer.add_string buf
+      (Printf.sprintf "%s = %s;\n" (lval_text lv) (exp_text e))
+  | Scall (ret, f, args) ->
+    buf_indent buf ind;
+    let call =
+      Printf.sprintf "%s(%s)" f (String.concat ", " (List.map exp_text args))
+    in
+    (match ret with
+    | None -> Buffer.add_string buf (call ^ ";\n")
+    | Some (_, lv) ->
+      Buffer.add_string buf (Printf.sprintf "%s = %s;\n" (lval_text lv) call))
+  | Sseq stmts ->
+    buf_indent buf ind;
+    Buffer.add_string buf "{\n";
+    List.iter (stmt_to_buf buf (ind + 1)) stmts;
+    buf_indent buf ind;
+    Buffer.add_string buf "}\n"
+  | Sif (c, t, e) -> (
+    buf_indent buf ind;
+    Buffer.add_string buf (Printf.sprintf "if (%s)\n" (exp_text c));
+    block_to_buf buf ind t;
+    match e.skind with
+    | Sskip -> ()
+    | _ ->
+      buf_indent buf ind;
+      Buffer.add_string buf "else\n";
+      block_to_buf buf ind e)
+  | Swhile (_, c, body) ->
+    buf_indent buf ind;
+    Buffer.add_string buf (Printf.sprintf "while (%s)\n" (exp_text c));
+    block_to_buf buf ind body
+  | Sfor (_, init, c, step, body) ->
+    buf_indent buf ind;
+    Buffer.add_string buf
+      (Printf.sprintf "for (%s; %s; %s)\n" (inline_simple init) (exp_text c)
+         (inline_simple step));
+    block_to_buf buf ind body
+  | Sreturn None ->
+    buf_indent buf ind;
+    Buffer.add_string buf "return;\n"
+  | Sreturn (Some e) ->
+    buf_indent buf ind;
+    Buffer.add_string buf (Printf.sprintf "return %s;\n" (exp_text e))
+  | Sbreak ->
+    buf_indent buf ind;
+    Buffer.add_string buf "break;\n"
+  | Scontinue ->
+    buf_indent buf ind;
+    Buffer.add_string buf "continue;\n"
+
+and block_to_buf buf ind s =
+  match s.skind with
+  | Sseq _ -> stmt_to_buf buf ind s
+  | _ ->
+    buf_indent buf ind;
+    Buffer.add_string buf "{\n";
+    stmt_to_buf buf (ind + 1) s;
+    buf_indent buf ind;
+    Buffer.add_string buf "}\n"
+
+(** For-loop headers hold single simple statements, printed inline. *)
+and inline_simple (s : stmt) : string =
+  match s.skind with
+  | Sskip -> ""
+  | Sassign (_, lv, e) -> Printf.sprintf "%s = %s" (lval_text lv) (exp_text e)
+  | Scall (None, f, args) ->
+    Printf.sprintf "%s(%s)" f (String.concat ", " (List.map exp_text args))
+  | Scall (Some (_, lv), f, args) ->
+    Printf.sprintf "%s = %s(%s)" (lval_text lv) f
+      (String.concat ", " (List.map exp_text args))
+  | Sseq [ s ] -> inline_simple s
+  | Sseq [] -> ""
+  | _ -> failwith "for-loop headers must be simple statements"
+
+let rec init_text = function
+  | Iexp e -> exp_text e
+  | Ilist items ->
+    "{" ^ String.concat ", " (List.map init_text items) ^ "}"
+
+let program_to_string (p : program) : string =
+  let buf = Buffer.create 4096 in
+  let parallel = p.parallel_loops in
+  let rec loop_marks s =
+    (* Re-emit #pragma parallel before candidate loops. *)
+    match s.skind with
+    | Swhile (lid, _, _) | Sfor (lid, _, _, _, _) -> List.mem lid parallel
+    | _ -> false
+  and emit_stmt ind s =
+    (match s.skind with
+    | _ when loop_marks s ->
+      buf_indent buf ind;
+      Buffer.add_string buf "#pragma parallel\n"
+    | _ -> ());
+    match s.skind with
+    | Sseq stmts ->
+      buf_indent buf ind;
+      Buffer.add_string buf "{\n";
+      List.iter (emit_stmt (ind + 1)) stmts;
+      buf_indent buf ind;
+      Buffer.add_string buf "}\n"
+    | Sif (c, t, e) -> (
+      buf_indent buf ind;
+      Buffer.add_string buf (Printf.sprintf "if (%s)\n" (exp_text c));
+      emit_block ind t;
+      match e.skind with
+      | Sskip -> ()
+      | _ ->
+        buf_indent buf ind;
+        Buffer.add_string buf "else\n";
+        emit_block ind e)
+    | Swhile (_, c, body) ->
+      buf_indent buf ind;
+      Buffer.add_string buf (Printf.sprintf "while (%s)\n" (exp_text c));
+      emit_block ind body
+    | Sfor (_, init, c, step, body) ->
+      buf_indent buf ind;
+      Buffer.add_string buf
+        (Printf.sprintf "for (%s; %s; %s)\n" (inline_simple init) (exp_text c)
+           (inline_simple step));
+      emit_block ind body
+    | _ -> stmt_to_buf buf ind s
+  and emit_block ind s =
+    match s.skind with
+    | Sseq _ -> emit_stmt ind s
+    | _ ->
+      buf_indent buf ind;
+      Buffer.add_string buf "{\n";
+      emit_stmt (ind + 1) s;
+      buf_indent buf ind;
+      Buffer.add_string buf "}\n"
+  in
+  List.iter
+    (fun g ->
+      match g with
+      | Gcomposite c ->
+        Buffer.add_string buf (Printf.sprintf "struct %s {\n" c.Types.cname);
+        List.iter
+          (fun (f, t) ->
+            Buffer.add_string buf (Printf.sprintf "  %s;\n" (ty_decl t f)))
+          c.Types.cfields;
+        Buffer.add_string buf "};\n\n"
+      | Gvar (name, ty, ini) ->
+        let decl = ty_decl ty name in
+        (match ini with
+        | None -> Buffer.add_string buf (decl ^ ";\n")
+        | Some i ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s = %s;\n" decl (init_text i)))
+      | Gfun f ->
+        let formals =
+          match f.fformals with
+          | [] -> "void"
+          | fs -> String.concat ", " (List.map (fun (n, t) -> ty_decl t n) fs)
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "\n%s(%s)\n{\n" (ty_decl f.freturn f.fname) formals);
+        List.iter
+          (fun (n, t) ->
+            Buffer.add_string buf (Printf.sprintf "  %s;\n" (ty_decl t n)))
+          f.flocals;
+        (match f.fbody.skind with
+        | Sseq stmts -> List.iter (emit_stmt 1) stmts
+        | _ -> emit_stmt 1 f.fbody);
+        Buffer.add_string buf "}\n")
+    p.globals;
+  Buffer.contents buf

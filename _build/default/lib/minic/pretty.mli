@@ -1,0 +1,24 @@
+(** Pretty-printer: renders MiniC back to C-like source.
+
+    The output of the expansion pass is meant to be read the way the
+    paper presents its transformed examples (Figures 1, 3, 4), so the
+    printer aims for compact, conventional C. Round-tripping through
+    {!Parser} is property-tested. *)
+
+(** [ty_decl t d] renders type [t] around declarator text [d],
+    following C's inside-out declarator syntax. *)
+val ty_decl : Types.ty -> string -> string
+
+(** A type name with no declarator, as written in casts. *)
+val ty_name : Types.ty -> string
+
+(** Render an expression with minimal parentheses. [prec] is the
+    surrounding precedence (internal use). *)
+val exp_text : ?prec:int -> Ast.exp -> string
+
+(** Render an lvalue. *)
+val lval_text : Ast.lval -> string
+
+(** Render a whole program, re-emitting [#pragma parallel] before
+    candidate loops. *)
+val program_to_string : Ast.program -> string

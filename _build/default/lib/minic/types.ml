@@ -1,0 +1,122 @@
+(** MiniC static types.
+
+    The type language mirrors the subset of C that the PLDI'13 expansion
+    rules (Tables 1-3 of the paper) are defined over: sized integers,
+    floats, pointers, fixed-size arrays, named structs and function types.
+    Struct bodies live in a separate {!composite} environment so that
+    recursive structures (linked lists, trees) are expressible. *)
+
+type ikind =
+  | IChar  (** 1 byte *)
+  | IShort  (** 2 bytes *)
+  | IInt  (** 4 bytes *)
+  | ILong  (** 8 bytes *)
+[@@deriving show { with_path = false }, eq]
+
+type fkind = FFloat  (** 4 bytes *) | FDouble  (** 8 bytes *)
+[@@deriving show { with_path = false }, eq]
+
+type ty =
+  | Tvoid
+  | Tint of ikind
+  | Tfloat of fkind
+  | Tptr of ty
+  | Tarray of ty * int  (** element type and (constant) element count *)
+  | Tstruct of string  (** reference to a composite by tag *)
+  | Tfun of ty * ty list  (** return type, parameter types *)
+[@@deriving show { with_path = false }, eq]
+
+(** A struct definition: tag and ordered fields. *)
+type composite = { cname : string; cfields : (string * ty) list }
+[@@deriving show { with_path = false }, eq]
+
+type composite_env = (string, composite) Hashtbl.t
+
+let ikind_size = function IChar -> 1 | IShort -> 2 | IInt -> 4 | ILong -> 8
+let fkind_size = function FFloat -> 4 | FDouble -> 8
+
+let find_composite (env : composite_env) loc tag =
+  match Hashtbl.find_opt env tag with
+  | Some c -> c
+  | None -> Loc.error loc "undefined struct '%s'" tag
+
+(** Byte size of a type. Structs are laid out field-after-field with
+    alignment padding so that recasting tricks (e.g. bzip2's [zptr]
+    short/int recast) behave as they would under a real ABI. *)
+let rec sizeof (env : composite_env) loc (t : ty) : int =
+  match t with
+  | Tvoid -> 1 (* GNU-style: sizeof(void) = 1, eases void* arithmetic *)
+  | Tint ik -> ikind_size ik
+  | Tfloat fk -> fkind_size fk
+  | Tptr _ -> 8
+  | Tarray (elt, n) -> n * sizeof env loc elt
+  | Tstruct tag ->
+    let c = find_composite env loc tag in
+    let size, align =
+      List.fold_left
+        (fun (off, align) (_, fty) ->
+          let fsz = sizeof env loc fty in
+          let fal = alignof env loc fty in
+          let off = roundup off fal in
+          (off + fsz, max align fal))
+        (0, 1) c.cfields
+    in
+    roundup size align
+  | Tfun _ -> Loc.error loc "sizeof applied to a function type"
+
+and alignof env loc = function
+  | Tvoid -> 1
+  | Tint ik -> ikind_size ik
+  | Tfloat fk -> fkind_size fk
+  | Tptr _ -> 8
+  | Tarray (elt, _) -> alignof env loc elt
+  | Tstruct tag ->
+    let c = find_composite env loc tag in
+    List.fold_left (fun a (_, fty) -> max a (alignof env loc fty)) 1 c.cfields
+  | Tfun _ -> Loc.error loc "alignof applied to a function type"
+
+and roundup off align = (off + align - 1) / align * align
+
+(** Byte offset of field [f] within struct [tag], plus the field type. *)
+let field_offset env loc tag f : int * ty =
+  let c = find_composite env loc tag in
+  let rec go off = function
+    | [] -> Loc.error loc "struct '%s' has no field '%s'" tag f
+    | (name, fty) :: rest ->
+      let off = roundup off (alignof env loc fty) in
+      if String.equal name f then (off, fty)
+      else go (off + sizeof env loc fty) rest
+  in
+  go 0 c.cfields
+
+let is_integer = function Tint _ -> true | _ -> false
+let is_float = function Tfloat _ -> true | _ -> false
+let is_pointer = function Tptr _ -> true | _ -> false
+let is_arith t = is_integer t || is_float t
+
+let is_scalar t = is_arith t || is_pointer t
+
+(** The type an expression of type [t] decays to when used as a value:
+    arrays become pointers to their element type (C array decay). *)
+let decay = function Tarray (elt, _) -> Tptr elt | t -> t
+
+(** Pointee of a pointer-or-array type. *)
+let pointee loc = function
+  | Tptr t -> t
+  | Tarray (t, _) -> t
+  | t -> Loc.error loc "expected a pointer type, got %s" (show_ty t)
+
+(** Integer promotion: everything narrower than int computes as int. *)
+let promote_ikind = function IChar | IShort | IInt -> IInt | ILong -> ILong
+
+(** Usual arithmetic conversions for a binary operator. *)
+let arith_join loc a b =
+  match (a, b) with
+  | Tfloat FDouble, _ | _, Tfloat FDouble -> Tfloat FDouble
+  | Tfloat FFloat, _ | _, Tfloat FFloat -> Tfloat FFloat
+  | Tint ka, Tint kb ->
+    let ka = promote_ikind ka and kb = promote_ikind kb in
+    Tint (if ikind_size ka >= ikind_size kb then ka else kb)
+  | _ ->
+    Loc.error loc "invalid arithmetic operands: %s and %s" (show_ty a)
+      (show_ty b)

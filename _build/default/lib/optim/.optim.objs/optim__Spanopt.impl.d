@@ -1,0 +1,1 @@
+lib/optim/spanopt.ml: Ast Hashtbl List Minic Option String Types

@@ -1,0 +1,1 @@
+lib/optim/spanopt.mli: Ast Minic

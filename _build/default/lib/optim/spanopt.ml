@@ -1,0 +1,305 @@
+(** The overhead-reduction optimizations of §3.4, phrased generically
+    over a set of candidate scalar variables (the expansion driver
+    passes the span shadows):
+
+    - {b dead-store elimination}: [p.span = p.span] self-assignments
+      (from [p = p + 1]) are dropped, as are all stores to candidates
+      that are never loaded anywhere in the program;
+    - {b constant and copy propagation}: when every store to a
+      candidate assigns the same {e stable} value (an integer literal,
+      a [sizeof], or another candidate that itself resolves to such a
+      value), loads of the candidate are replaced by that value and
+      its stores become dead.
+
+    Candidates are identified by name program-wide (span shadows are
+    uniquely named); a variable whose address is taken is never
+    touched. *)
+
+open Minic
+
+(* Structural expression equality ignoring access ids. *)
+let rec eq_exp (a : Ast.exp) (b : Ast.exp) : bool =
+  match (a, b) with
+  | Ast.Const x, Ast.Const y -> Ast.equal_constant x y
+  | Ast.Lval (_, x), Ast.Lval (_, y) -> eq_lval x y
+  | Ast.Addr x, Ast.Addr y -> eq_lval x y
+  | Ast.Unop (o1, x), Ast.Unop (o2, y) -> o1 = o2 && eq_exp x y
+  | Ast.Binop (o1, x1, y1), Ast.Binop (o2, x2, y2) ->
+    o1 = o2 && eq_exp x1 x2 && eq_exp y1 y2
+  | Ast.Cast (t1, x), Ast.Cast (t2, y) -> Types.equal_ty t1 t2 && eq_exp x y
+  | Ast.SizeofType t1, Ast.SizeofType t2 -> Types.equal_ty t1 t2
+  | Ast.Cond (c1, x1, y1), Ast.Cond (c2, x2, y2) ->
+    eq_exp c1 c2 && eq_exp x1 x2 && eq_exp y1 y2
+  | _ -> false
+
+and eq_lval (a : Ast.lval) (b : Ast.lval) : bool =
+  match (a, b) with
+  | Ast.Var x, Ast.Var y -> String.equal x y
+  | Ast.Deref x, Ast.Deref y -> eq_exp x y
+  | Ast.Index (b1, i1), Ast.Index (b2, i2) -> eq_lval b1 b2 && eq_exp i1 i2
+  | Ast.Field (b1, f1), Ast.Field (b2, f2) ->
+    eq_lval b1 b2 && String.equal f1 f2
+  | _ -> false
+
+type stats = {
+  mutable self_assigns_removed : int;
+  mutable dead_stores_removed : int;
+  mutable loads_propagated : int;
+}
+
+let new_stats () =
+  { self_assigns_removed = 0; dead_stores_removed = 0; loads_propagated = 0 }
+
+(* ------------------------------------------------------------------ *)
+(* Facts about candidate usage                                         *)
+(* ------------------------------------------------------------------ *)
+
+type usage = {
+  mutable loaded : bool;
+  mutable address_taken : bool;
+  mutable stores : Ast.exp list;  (** RHS of every store to the candidate *)
+}
+
+(* Usage is collected for every variable, not just candidates: value
+   resolution may flow through ordinary single-valued scalars (e.g.
+   [span = sizeof(int) * m] with [m = 64] propagates fully, as GCC's
+   constant propagation would). Replacement and dead-store elimination
+   still apply only to candidates. *)
+let collect_usage (prog : Ast.program) :
+    (string, usage) Hashtbl.t =
+  let tbl = Hashtbl.create 32 in
+  let u x =
+    match Hashtbl.find_opt tbl x with
+    | Some u -> u
+    | None ->
+      let u = { loaded = false; address_taken = false; stores = [] } in
+      Hashtbl.replace tbl x u;
+      u
+  in
+  let rec scan_exp (e : Ast.exp) =
+    match e with
+    | Ast.Const _ | Ast.SizeofType _ -> ()
+    | Ast.SizeofExp a -> scan_exp a
+    | Ast.Lval (_, Ast.Var x) -> (u x).loaded <- true
+    | Ast.Lval (_, lv) -> scan_lval lv
+    | Ast.Addr (Ast.Var x) -> (u x).address_taken <- true
+    | Ast.Addr lv -> scan_lval lv
+    | Ast.Unop (_, a) | Ast.Cast (_, a) -> scan_exp a
+    | Ast.Binop (_, a, b) ->
+      scan_exp a;
+      scan_exp b
+    | Ast.Call (_, args) -> List.iter scan_exp args
+    | Ast.Cond (c, a, b) ->
+      scan_exp c;
+      scan_exp a;
+      scan_exp b
+  and scan_lval (lv : Ast.lval) =
+    match lv with
+    | Ast.Var _ -> ()
+    | Ast.Deref e -> scan_exp e
+    | Ast.Index (b, i) ->
+      scan_lval b;
+      scan_exp i
+    | Ast.Field (b, _) -> scan_lval b
+  in
+  let rec scan_stmt (s : Ast.stmt) =
+    match s.Ast.skind with
+    | Ast.Sskip | Ast.Sbreak | Ast.Scontinue -> ()
+    | Ast.Sassign (_, lv, e) ->
+      (match lv with
+      | Ast.Var x -> (u x).stores <- e :: (u x).stores
+      | _ -> scan_lval lv);
+      scan_exp e
+    | Ast.Scall (ret, _, args) ->
+      (match ret with
+      | Some (_, Ast.Var x) ->
+        (* call result: opaque store *)
+        (u x).stores <- Ast.Call ("?", []) :: (u x).stores
+      | Some (_, lv) -> scan_lval lv
+      | None -> ());
+      List.iter scan_exp args
+    | Ast.Sseq ss -> List.iter scan_stmt ss
+    | Ast.Sif (c, a, b) ->
+      scan_exp c;
+      scan_stmt a;
+      scan_stmt b
+    | Ast.Swhile (_, c, body) ->
+      scan_exp c;
+      scan_stmt body
+    | Ast.Sfor (_, init, c, step, body) ->
+      scan_stmt init;
+      scan_exp c;
+      scan_stmt step;
+      scan_stmt body
+    | Ast.Sreturn e -> Option.iter scan_exp e
+  in
+  List.iter (fun (f : Ast.fundef) -> scan_stmt f.Ast.fbody) (Ast.functions prog);
+  (* global initializers are stores; formals are opaquely stored at
+     every call site *)
+  List.iter
+    (fun (x, _, ini) ->
+      match ini with
+      | Some (Ast.Iexp e) -> (u x).stores <- e :: (u x).stores
+      | Some (Ast.Ilist _) | None -> ())
+    (Ast.global_vars prog);
+  List.iter
+    (fun (f : Ast.fundef) ->
+      List.iter
+        (fun (x, _) -> (u x).stores <- Ast.Call ("?", []) :: (u x).stores)
+        f.Ast.fformals)
+    (Ast.functions prog);
+  tbl
+
+(* ------------------------------------------------------------------ *)
+(* Constant / copy value lattice                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* A candidate resolves to a stable expression when all its stores
+   agree on an rhs built only from literals, sizeofs, casts over
+   those, or other candidates that themselves resolve. *)
+type value = Unknown | Stable of Ast.exp
+
+let rec stable_shape (e : Ast.exp) : bool =
+  match e with
+  | Ast.Const (Ast.Cint _) | Ast.SizeofType _ -> true
+  | Ast.Cast (_, a) -> stable_shape a
+  | Ast.Binop ((Ast.Add | Ast.Sub | Ast.Mul), a, b) ->
+    stable_shape a && stable_shape b
+  | Ast.Lval (_, Ast.Var _) -> true
+  | _ -> false
+
+(** Resolve variables to stable values by fixpoint. *)
+let solve_values (usage : (string, usage) Hashtbl.t) :
+    (string, Ast.exp) Hashtbl.t =
+  let value : (string, value) Hashtbl.t = Hashtbl.create 32 in
+  let rec resolve (visiting : string list) (x : string) : value =
+    if List.mem x visiting then Unknown
+    else
+      match Hashtbl.find_opt value x with
+      | Some v -> v
+      | None ->
+        let v =
+          match Hashtbl.find_opt usage x with
+          | None -> Unknown (* never stored: zero-initialized *)
+          | Some u ->
+            if u.address_taken then Unknown
+            else begin
+              let rhss =
+                List.map
+                  (fun e -> subst_value (x :: visiting) e)
+                  u.stores
+              in
+              match rhss with
+              | [] -> Unknown
+              | Some first :: rest
+                when List.for_all
+                       (function Some e -> eq_exp e first | None -> false)
+                       rest ->
+                Stable first
+              | _ -> Unknown
+            end
+        in
+        Hashtbl.replace value x v;
+        v
+  (* substitute resolved variables inside a stable-shaped rhs *)
+  and subst_value (visiting : string list) (e : Ast.exp) : Ast.exp option =
+    if not (stable_shape e) then None
+    else
+      let rec go (e : Ast.exp) : Ast.exp option =
+        match e with
+        | Ast.Const _ | Ast.SizeofType _ -> Some e
+        | Ast.Cast (t, a) -> Option.map (fun a -> Ast.Cast (t, a)) (go a)
+        | Ast.Binop (op, a, b) -> (
+          match (go a, go b) with
+          | Some a, Some b -> Some (Ast.Binop (op, a, b))
+          | _ -> None)
+        | Ast.Lval (_, Ast.Var x) -> (
+          match resolve visiting x with
+          | Stable v -> Some v
+          | Unknown -> None)
+        | _ -> None
+      in
+      go e
+  in
+  let out = Hashtbl.create 32 in
+  Hashtbl.iter
+    (fun x _ ->
+      match resolve [] x with
+      | Stable v -> Hashtbl.replace out x v
+      | Unknown -> ())
+    usage;
+  out
+
+(* ------------------------------------------------------------------ *)
+(* Rewriting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Apply §3.4 to [prog] in place, over candidate variables selected
+    by [is_candidate]. Returns optimization statistics. *)
+let optimize (prog : Ast.program) ~(is_candidate : string -> bool) : stats =
+  let stats = new_stats () in
+  let usage = collect_usage prog in
+  let values = solve_values usage in
+  (* after propagation, loads of resolved candidates disappear, so
+     recompute liveness treating resolved vars as unread *)
+  let resolved x = Hashtbl.mem values x in
+  let dead x =
+    is_candidate x
+    && (resolved x
+       ||
+       match Hashtbl.find_opt usage x with
+       | Some u -> (not u.loaded) && not u.address_taken
+       | None -> true)
+  in
+  let rec rw_exp (e : Ast.exp) : Ast.exp =
+    match e with
+    | Ast.Const _ | Ast.SizeofType _ -> e
+    | Ast.SizeofExp a -> Ast.SizeofExp (rw_exp a)
+    | Ast.Lval (_, Ast.Var x) when is_candidate x && resolved x ->
+      stats.loads_propagated <- stats.loads_propagated + 1;
+      Hashtbl.find values x
+    | Ast.Lval (aid, lv) -> Ast.Lval (aid, rw_lval lv)
+    | Ast.Addr lv -> Ast.Addr (rw_lval lv)
+    | Ast.Unop (op, a) -> Ast.Unop (op, rw_exp a)
+    | Ast.Binop (op, a, b) -> Ast.Binop (op, rw_exp a, rw_exp b)
+    | Ast.Cast (t, a) -> Ast.Cast (t, rw_exp a)
+    | Ast.Call (f, args) -> Ast.Call (f, List.map rw_exp args)
+    | Ast.Cond (c, a, b) -> Ast.Cond (rw_exp c, rw_exp a, rw_exp b)
+  and rw_lval (lv : Ast.lval) : Ast.lval =
+    match lv with
+    | Ast.Var _ -> lv
+    | Ast.Deref e -> Ast.Deref (rw_exp e)
+    | Ast.Index (b, i) -> Ast.Index (rw_lval b, rw_exp i)
+    | Ast.Field (b, f) -> Ast.Field (rw_lval b, f)
+  in
+  let rec rw_stmt (s : Ast.stmt) : Ast.stmt =
+    let keep k = { s with Ast.skind = k } in
+    match s.Ast.skind with
+    | Ast.Sskip | Ast.Sbreak | Ast.Scontinue -> s
+    | Ast.Sassign (_, lv, Ast.Lval (_, lv2)) when eq_lval lv lv2 ->
+      (* the span self-copy generated after [p = p + 1]; lvalue
+         evaluation is side-effect-free in MiniC, so any literal
+         self-assignment is dead *)
+      stats.self_assigns_removed <- stats.self_assigns_removed + 1;
+      Ast.skip
+    | Ast.Sassign (_, Ast.Var x, _) when dead x ->
+      stats.dead_stores_removed <- stats.dead_stores_removed + 1;
+      Ast.skip
+    | Ast.Sassign (aid, lv, e) -> keep (Ast.Sassign (aid, rw_lval lv, rw_exp e))
+    | Ast.Scall (ret, f, args) ->
+      let ret = Option.map (fun (aid, lv) -> (aid, rw_lval lv)) ret in
+      keep (Ast.Scall (ret, f, List.map rw_exp args))
+    | Ast.Sseq ss -> keep (Ast.Sseq (List.map rw_stmt ss))
+    | Ast.Sif (c, a, b) -> keep (Ast.Sif (rw_exp c, rw_stmt a, rw_stmt b))
+    | Ast.Swhile (lid, c, body) -> keep (Ast.Swhile (lid, rw_exp c, rw_stmt body))
+    | Ast.Sfor (lid, init, c, step, body) ->
+      keep (Ast.Sfor (lid, rw_stmt init, rw_exp c, rw_stmt step, rw_stmt body))
+    | Ast.Sreturn e -> keep (Ast.Sreturn (Option.map rw_exp e))
+  in
+  let funs =
+    List.map
+      (fun (f : Ast.fundef) -> { f with Ast.fbody = rw_stmt f.Ast.fbody })
+      (Ast.functions prog)
+  in
+  List.iter (Ast.replace_fun prog) funs;
+  stats

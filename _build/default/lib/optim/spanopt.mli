@@ -1,0 +1,31 @@
+(** The overhead-reduction optimizations of §3.4, phrased generically
+    over a set of candidate scalar variables (the expansion driver
+    passes the span shadows):
+
+    - {b dead-store elimination}: [p.span = p.span] self-assignments
+      (from [p = p + 1]) are dropped, as are all stores to candidates
+      that are never loaded anywhere;
+    - {b constant and copy propagation}: when every store to a
+      candidate assigns the same {e stable} value (literals, [sizeof],
+      arithmetic over those, and ordinary single-valued scalars),
+      loads of the candidate are replaced by that value and its stores
+      become dead.
+
+    Variables whose address is taken are never touched. *)
+
+open Minic
+
+(** Structural expression / lvalue equality ignoring access ids. *)
+val eq_exp : Ast.exp -> Ast.exp -> bool
+
+val eq_lval : Ast.lval -> Ast.lval -> bool
+
+type stats = {
+  mutable self_assigns_removed : int;
+  mutable dead_stores_removed : int;
+  mutable loads_propagated : int;
+}
+
+(** Apply §3.4 to the program in place, over candidate variables
+    selected by name. *)
+val optimize : Ast.program -> is_candidate:(string -> bool) -> stats

@@ -1,0 +1,1 @@
+lib/parexec/cache.mli:

@@ -1,0 +1,1 @@
+lib/parexec/sim.ml: Array Ast Cache Depgraph Hashtbl Interp List Minic Option Privatize Visit

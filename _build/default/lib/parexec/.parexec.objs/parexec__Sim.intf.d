@@ -1,0 +1,1 @@
+lib/parexec/sim.mli: Ast Hashtbl Minic Privatize

@@ -1,0 +1,18 @@
+(** Set-associative LRU cache model.
+
+    The parallel simulator gives each simulated thread a private L1
+    plus a slice of the shared last-level cache; misses to memory are
+    counted as DRAM traffic, which feeds the shared-bandwidth bound
+    (470.lbm's plateau in the paper's Figure 11). *)
+
+type t
+
+val create : size_bytes:int -> assoc:int -> line_bytes:int -> t
+val reset : t -> unit
+
+(** Touch every line the access [addr, addr+size) covers; [true] iff
+    all of them hit. Updates LRU state and hit/miss counters. *)
+val access : t -> addr:int -> size:int -> bool
+
+(** Fraction of line touches that hit; 1.0 when empty. *)
+val hit_rate : t -> float

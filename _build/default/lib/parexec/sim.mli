@@ -1,0 +1,93 @@
+(** Deterministic parallel-execution simulator.
+
+    The transformed program executes {e sequentially} in iteration
+    order — semantically exact, because expansion keeps each thread's
+    private accesses in its own copies and ordered shared accesses
+    execute in the order the paper's post/wait synchronization
+    enforces. Timing is derived by replaying measured per-iteration
+    costs against a thread schedule: static-chunk DOALL, dynamic
+    chunk-1 DOACROSS with per-channel post/wait, per-thread L1 caches
+    plus per-thread slices of a shared LLC, and a DRAM bandwidth bound
+    on each loop invocation. *)
+
+open Minic
+
+type schedule = Doall | Doacross
+
+type loop_spec = {
+  lid : Ast.lid;
+  schedule : schedule;
+  ordered : (Ast.aid, int * bool) Hashtbl.t;
+      (** accesses carrying cross-thread flow dependences:
+          aid -> (synchronization channel, is-write) *)
+}
+
+(** Derive a loop's schedule and ordered channels from its analysis. *)
+val spec_of_analysis : Privatize.Analyze.result -> loop_spec
+
+(** Cache hierarchy parameters, loosely modelled on the paper's dual
+    quad-core Opteron 8350 and calibrated to the interpreter's cost
+    model (see DESIGN.md). *)
+type machine_params = {
+  l1_bytes : int;
+  l1_assoc : int;
+  llc_bytes : int;
+  llc_assoc : int;
+  line_bytes : int;
+  llc_extra : int;  (** extra cycles on L1 miss, LLC hit *)
+  dram_extra : int;  (** extra cycles on LLC miss *)
+  bw_bytes_per_cycle : float;  (** shared DRAM bandwidth *)
+}
+
+val default_machine : machine_params
+
+type seq_result = {
+  sq_output : string;
+  sq_exit : int;
+  sq_total : int;
+  sq_loop : (Ast.lid * int) list;  (** cycles inside each target loop *)
+  sq_peak : int;
+}
+
+(** Run a program sequentially under the cache model; the baseline for
+    speedups. *)
+val run_sequential :
+  ?machine:machine_params -> Ast.program -> Ast.lid list -> seq_result
+
+(** SpiceC-style runtime-privatization surcharge (see
+    {!Runtimepriv.Rp}): monitored accesses pay a resolution cost and
+    privately-written bytes are committed at each iteration's end. *)
+type runtime_priv = {
+  rp_monitored : (Ast.aid, unit) Hashtbl.t;
+  rp_resolve_cost : int;
+  rp_commit_per_byte : int;
+}
+
+type par_result = {
+  pr_threads : int;
+  pr_output : string;
+  pr_exit : int;
+  pr_total : int;  (** simulated whole-program time *)
+  pr_loop : (Ast.lid * int) list;  (** simulated parallel loop times *)
+  pr_busy : int array;  (** per-thread work cycles inside target loops *)
+  pr_sync : int array;  (** per-thread DOACROSS wait cycles *)
+  pr_idle : int array;  (** per-thread barrier/load-imbalance idle *)
+  pr_overhead : int;  (** GOMP fork/dispatch/barrier cycles *)
+  pr_peak : int;
+  pr_iterations : (Ast.lid * int) list;
+  pr_rp_touched_bytes : int;
+      (** bytes of data touched by monitored private accesses; the
+          runtime-privatization baseline allocates one copy per extra
+          thread of exactly this *)
+  pr_dram_bytes : int;  (** DRAM traffic inside the target loops *)
+}
+
+(** Simulate a parallel run of an expanded program (one reading
+    [__tid]/[__nthreads]) on [threads] threads. *)
+val run_parallel :
+  ?machine:machine_params ->
+  ?rp:runtime_priv ->
+  Ast.program ->
+  loop_spec list ->
+  threads:int ->
+  par_result

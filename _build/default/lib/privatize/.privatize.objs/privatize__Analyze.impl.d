@@ -1,0 +1,1 @@
+lib/privatize/analyze.pp.ml: Ast Classify Depgraph Induction Minic Printf Visit

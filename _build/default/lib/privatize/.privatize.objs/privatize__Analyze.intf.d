@@ -1,0 +1,1 @@
+lib/privatize/analyze.pp.mli: Ast Classify Depgraph Minic

@@ -1,0 +1,1 @@
+lib/privatize/classify.pp.ml: Ast Depgraph Hashtbl List Minic Option Ppx_deriving_runtime Union_find Visit

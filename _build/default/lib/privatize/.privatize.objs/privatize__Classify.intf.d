@@ -1,0 +1,1 @@
+lib/privatize/classify.pp.mli: Ast Depgraph Format Hashtbl Minic

@@ -1,0 +1,1 @@
+lib/privatize/induction.pp.ml: Ast Depgraph Hashtbl List Minic String Visit

@@ -1,0 +1,1 @@
+lib/privatize/induction.pp.mli: Ast Depgraph Minic

@@ -1,0 +1,1 @@
+lib/privatize/union_find.pp.ml: Hashtbl List Option

@@ -1,0 +1,29 @@
+(** One-call front door: profile a loop and classify its accesses. *)
+
+open Minic
+
+type result = {
+  profile : Depgraph.Profiler.profile;
+  classification : Classify.classification;
+  induction_vars : string list;
+  loop_stmt : Ast.stmt;
+  loop_fun : Ast.fundef;
+}
+
+let analyze (prog : Ast.program) (lid : Ast.lid) : result =
+  let loop_fun, loop_stmt =
+    match Visit.find_loop_fun prog lid with
+    | Some fs -> fs
+    | None -> invalid_arg (Printf.sprintf "analyze: no loop with id %d" lid)
+  in
+  let profile = Depgraph.Profiler.profile prog lid in
+  let induction_vars = Induction.find prog loop_stmt in
+  let induction =
+    Induction.access_ids_of_vars
+      profile.Depgraph.Profiler.graph.Depgraph.Graph.sites prog loop_stmt
+      induction_vars
+  in
+  let classification =
+    Classify.classify ~induction profile.Depgraph.Profiler.graph
+  in
+  { profile; classification; induction_vars; loop_stmt; loop_fun }

@@ -1,0 +1,17 @@
+(** One-call front door: profile a loop and classify its accesses. *)
+
+open Minic
+
+type result = {
+  profile : Depgraph.Profiler.profile;
+  classification : Classify.classification;
+  induction_vars : string list;
+  loop_stmt : Ast.stmt;
+  loop_fun : Ast.fundef;
+}
+
+(** Profile loop [lid] of a type-checked program by executing it once,
+    recognize the loop's basic induction variables, and classify every
+    access per Definitions 4-5.
+    @raise Invalid_argument if no loop has id [lid]. *)
+val analyze : Ast.program -> Ast.lid -> result

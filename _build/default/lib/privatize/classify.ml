@@ -1,0 +1,179 @@
+(** Access-class partitioning (Definitions 4-5 of the paper).
+
+    A loop-independent dependence between two accesses is an
+    equivalence relation; its classes are {e access classes}. A class
+    is {e thread-private} iff
+
+    + no member is an upwards-exposed load or a downwards-exposed
+      store,
+    + no member participates in a loop-carried flow dependence, and
+    + some member participates in a loop-carried anti- or output
+      dependence.
+
+    Private accesses are redirected to per-thread copies by the
+    expansion pass; all other accesses are {e shared} and keep using
+    copy 0. *)
+
+open Minic
+
+type verdict =
+  | Private  (** redirected to the thread's copy (Definition 5) *)
+  | Shared  (** keeps using copy 0 *)
+  | Induction
+      (** a basic induction variable of the loop: its carried flow is
+          managed by the parallel runtime (each thread derives its own
+          indices), so it is neither expanded nor ordered *)
+[@@deriving show { with_path = false }, eq]
+
+(** Why a class was rejected (for reports and tests). *)
+type reason =
+  | Accepted
+  | Has_upwards_exposed of Ast.aid
+  | Has_downwards_exposed of Ast.aid
+  | Has_carried_flow of Ast.aid
+  | No_carried_anti_or_output
+[@@deriving show { with_path = false }, eq]
+
+type classification = {
+  graph : Depgraph.Graph.t;
+  verdicts : (Ast.aid, verdict) Hashtbl.t;
+  classes : (Ast.aid list * verdict * reason) list;
+      (** every access class with its verdict and justification *)
+}
+
+(** Partition the accesses of [g] into classes and classify each.
+    [induction] lists access ids belonging to basic induction
+    variables of the loop; a class consisting solely of such accesses
+    is runtime-managed rather than expanded. *)
+let classify ?(induction : Ast.aid list = []) (g : Depgraph.Graph.t) :
+    classification =
+  let uf = Union_find.create () in
+  List.iter (fun s -> Union_find.add uf s.Depgraph.Graph.s_aid) g.Depgraph.Graph.sites;
+  List.iter
+    (fun (a, b) -> Union_find.union uf a b)
+    (Depgraph.Graph.independent_pairs g);
+  let judge (cls : Ast.aid list) : verdict * reason =
+    if List.for_all (fun a -> List.mem a induction) cls then
+      (Induction, Accepted)
+    else
+      let find_mem pred = List.find_opt pred cls in
+      match find_mem (Depgraph.Graph.is_upwards_exposed g) with
+      | Some a -> (Shared, Has_upwards_exposed a)
+      | None -> (
+        match find_mem (Depgraph.Graph.is_downwards_exposed g) with
+        | Some a -> (Shared, Has_downwards_exposed a)
+        | None -> (
+          match find_mem (Depgraph.Graph.in_carried_flow g) with
+          | Some a -> (Shared, Has_carried_flow a)
+          | None ->
+            if List.exists (Depgraph.Graph.in_carried_anti_or_output g) cls
+            then (Private, Accepted)
+            else (Shared, No_carried_anti_or_output)))
+  in
+  let classes =
+    List.map
+      (fun cls ->
+        let v, r = judge cls in
+        (cls, v, r))
+      (Union_find.classes uf)
+  in
+  let verdicts = Hashtbl.create 64 in
+  List.iter
+    (fun (cls, v, _) -> List.iter (fun a -> Hashtbl.replace verdicts a v) cls)
+    classes;
+  { graph = g; verdicts; classes }
+
+let verdict (c : classification) (aid : Ast.aid) : verdict =
+  Option.value ~default:Shared (Hashtbl.find_opt c.verdicts aid)
+
+let is_private c aid = verdict c aid = Private
+
+let private_aids (c : classification) : Ast.aid list =
+  Hashtbl.fold (fun a v acc -> if v = Private then a :: acc else acc)
+    c.verdicts []
+  |> List.sort compare
+
+(** Figure 8's three-way split of the loop's {e dynamic} accesses. *)
+type breakdown = {
+  free_of_carried : int;  (** accesses free of any loop-carried dep *)
+  expandable : int;  (** thread-private accesses (Definition 5) *)
+  with_carried : int;  (** remaining accesses involved in carried deps *)
+}
+
+let breakdown (c : classification) : breakdown =
+  let g = c.graph in
+  List.fold_left
+    (fun acc (s : Depgraph.Graph.site) ->
+      let aid = s.Depgraph.Graph.s_aid in
+      let n = Depgraph.Graph.dyn_count g aid in
+      if not (Depgraph.Graph.in_any_carried g aid) then
+        { acc with free_of_carried = acc.free_of_carried + n }
+      else
+        match verdict c aid with
+        (* induction variables are privatized scalars in the paper's
+           terms: their carried dependence never crosses threads *)
+        | Private | Induction -> { acc with expandable = acc.expandable + n }
+        | Shared -> { acc with with_carried = acc.with_carried + n })
+    { free_of_carried = 0; expandable = 0; with_carried = 0 }
+    g.Depgraph.Graph.sites
+
+(** Accesses that carry cross-iteration flow dependences on shared
+    data; the parallel simulator serializes the span between the first
+    and last such access of each iteration (DOACROSS post/wait). *)
+let ordered_aids (c : classification) : Ast.aid list =
+  List.filter_map
+    (fun (s : Depgraph.Graph.site) ->
+      let aid = s.Depgraph.Graph.s_aid in
+      if
+        verdict c aid = Shared
+        && Depgraph.Graph.involved_in c.graph aid (fun e ->
+               e.Depgraph.Graph.e_carried
+               && e.Depgraph.Graph.e_kind = Depgraph.Graph.Flow)
+      then Some aid
+      else None)
+    c.graph.Depgraph.Graph.sites
+
+(** Ordered accesses grouped into synchronization channels: accesses of
+    the same access class synchronize on the same post/wait pair, and
+    carried-flow edges connect classes into one channel. The parallel
+    simulator pipelines independent channels (the paper places one
+    synchronization per cross-thread dependence, not a single global
+    lock). Returns (aid, channel, is_write) triples. *)
+let ordered_channels (c : classification) : (Ast.aid * int * bool) list =
+  let ordered = ordered_aids c in
+  if ordered = [] then []
+  else begin
+    (* union classes, then merge classes linked by carried flow *)
+    let uf = Union_find.create () in
+    List.iter (fun a -> Union_find.add uf a) ordered;
+    List.iteri
+      (fun _ (cls, _, _) ->
+        match List.filter (fun a -> List.mem a ordered) cls with
+        | [] -> ()
+        | first :: rest ->
+          List.iter (fun a -> Union_find.union uf first a) rest)
+      c.classes;
+    List.iter
+      (fun (e : Depgraph.Graph.edge) ->
+        if
+          e.Depgraph.Graph.e_carried
+          && e.Depgraph.Graph.e_kind = Depgraph.Graph.Flow
+          && List.mem e.Depgraph.Graph.e_src ordered
+          && List.mem e.Depgraph.Graph.e_dst ordered
+        then Union_find.union uf e.Depgraph.Graph.e_src e.Depgraph.Graph.e_dst)
+      (Depgraph.Graph.edges c.graph);
+    let kind_of aid =
+      match Depgraph.Graph.site c.graph aid with
+      | Some s -> s.Depgraph.Graph.s_kind = Visit.Store
+      | None -> false
+    in
+    List.map
+      (fun aid -> (aid, Union_find.find uf aid, kind_of aid))
+      ordered
+  end
+
+(** A loop is DOALL when no shared access is involved in a loop-carried
+    flow dependence (privatization removes the carried anti/output
+    ones); otherwise it needs DOACROSS scheduling. *)
+let parallelism_kind (c : classification) : [ `Doall | `Doacross ] =
+  if ordered_aids c = [] then `Doall else `Doacross

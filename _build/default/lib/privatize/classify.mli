@@ -1,0 +1,73 @@
+(** Access-class partitioning (Definitions 4-5 of the paper).
+
+    A loop-independent dependence between two accesses is an
+    equivalence relation; its classes are {e access classes}. A class
+    is {e thread-private} iff no member is an upwards-exposed load or
+    downwards-exposed store, no member participates in a loop-carried
+    flow dependence, and some member participates in a loop-carried
+    anti- or output dependence. *)
+
+open Minic
+
+type verdict =
+  | Private  (** redirected to the thread's copy (Definition 5) *)
+  | Shared  (** keeps using copy 0 *)
+  | Induction
+      (** a basic induction variable of the loop: its carried flow is
+          managed by the parallel runtime (each thread derives its own
+          indices), so it is neither expanded nor ordered *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+val show_verdict : verdict -> string
+val equal_verdict : verdict -> verdict -> bool
+
+(** Why a class was rejected (for reports and tests). *)
+type reason =
+  | Accepted
+  | Has_upwards_exposed of Ast.aid
+  | Has_downwards_exposed of Ast.aid
+  | Has_carried_flow of Ast.aid
+  | No_carried_anti_or_output
+
+val pp_reason : Format.formatter -> reason -> unit
+val show_reason : reason -> string
+
+type classification = {
+  graph : Depgraph.Graph.t;
+  verdicts : (Ast.aid, verdict) Hashtbl.t;
+  classes : (Ast.aid list * verdict * reason) list;
+      (** every access class with its verdict and justification *)
+}
+
+(** Partition the accesses of the graph into classes and classify
+    each. [induction] lists access ids of the loop's basic induction
+    variables; a class consisting solely of those is runtime-managed
+    rather than expanded. *)
+val classify :
+  ?induction:Ast.aid list -> Depgraph.Graph.t -> classification
+
+val verdict : classification -> Ast.aid -> verdict
+val is_private : classification -> Ast.aid -> bool
+val private_aids : classification -> Ast.aid list
+
+(** Figure 8's three-way split of the loop's {e dynamic} accesses. *)
+type breakdown = {
+  free_of_carried : int;  (** accesses free of any loop-carried dep *)
+  expandable : int;  (** thread-private accesses (Definition 5) *)
+  with_carried : int;  (** remaining accesses involved in carried deps *)
+}
+
+val breakdown : classification -> breakdown
+
+(** Shared accesses carrying cross-iteration flow dependences; the
+    parallel simulator synchronizes them with post/wait. *)
+val ordered_aids : classification -> Ast.aid list
+
+(** Ordered accesses grouped into synchronization channels (access
+    classes merged along carried flow); each channel is an independent
+    post/wait pair. Returns (aid, channel, is_write) triples. *)
+val ordered_channels : classification -> (Ast.aid * int * bool) list
+
+(** DOALL iff no shared access is involved in a loop-carried flow
+    dependence (privatization removes the carried anti/output ones). *)
+val parallelism_kind : classification -> [ `Doall | `Doacross ]

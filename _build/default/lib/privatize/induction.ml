@@ -1,0 +1,165 @@
+(** Basic induction-variable recognition.
+
+    The parallel runtime (GOMP in the paper) manages the loop index
+    itself: each thread computes its own chunk's indices, so the
+    index's loop-carried flow dependence never crosses threads. This is
+    the one relaxation of Definition 5 the paper relies on implicitly
+    (its §3.2 note: a carried flow dependence is harmless "as long as
+    the dependence does not occur across threads").
+
+    A variable qualifies as a basic induction variable of a loop when
+    every store to it inside the loop (body, step, and all callees) is
+    a single syntactic [x = x + c] / [x = x - c] with constant [c]. *)
+
+open Minic
+
+(** All stores to plain variables within a statement, as (name, rhs).
+    Call results assigned to a variable are treated as opaque stores
+    (an empty [Const 0] rhs that never matches the induction shape). *)
+let var_stores (s : Ast.stmt) : (string * Ast.exp) list =
+  let acc = ref [] in
+  ignore
+    (Visit.map_stmt
+       (fun s ->
+         (match s.Ast.skind with
+         | Ast.Sassign (_, Ast.Var x, e) -> acc := (x, e) :: !acc
+         | Ast.Scall (Some (_, Ast.Var x), _, _) ->
+           acc := (x, Ast.czero) :: !acc
+         | _ -> ());
+         s)
+       s);
+  !acc
+
+(** Is any lvalue other than a plain [Var x] stored-to, or [x]'s address
+    taken, anywhere x could be aliased? Conservative: a variable whose
+    address is taken anywhere in the program is disqualified. *)
+let address_taken (prog : Ast.program) (x : string) : bool =
+  let found = ref false in
+  let check_exp e =
+    ignore
+      (Visit.fold_exp_accesses (fun () _ -> ()) () e);
+    let rec go (e : Ast.exp) =
+      match e with
+      | Ast.Addr lv -> go_lv_addr lv
+      | Ast.Lval (_, lv) -> go_lv lv
+      | Ast.Unop (_, a) | Ast.Cast (_, a) | Ast.SizeofExp a -> go a
+      | Ast.Binop (_, a, b) ->
+        go a;
+        go b
+      | Ast.Cond (a, b, c) ->
+        go a;
+        go b;
+        go c
+      | Ast.Call (_, args) -> List.iter go args
+      | Ast.Const _ | Ast.SizeofType _ -> ()
+    and go_lv_addr (lv : Ast.lval) =
+      (match lv with Ast.Var v when String.equal v x -> found := true | _ -> ());
+      go_lv lv
+    and go_lv (lv : Ast.lval) =
+      match lv with
+      | Ast.Var _ -> ()
+      | Ast.Deref e -> go e
+      | Ast.Index (b, i) ->
+        go_lv b;
+        go i
+      | Ast.Field (b, _) -> go_lv b
+    in
+    go e
+  in
+  List.iter
+    (fun (f : Ast.fundef) ->
+      ignore
+        (Visit.map_stmt_exps
+           ~fe:(fun e ->
+             check_exp e;
+             e)
+           ~flv:(fun lv -> lv)
+           f.Ast.fbody))
+    (Ast.functions prog);
+  !found
+
+let is_const_int = function Ast.Const (Ast.Cint _) -> true | _ -> false
+
+(** [x = x + c] or [x = x - c]? *)
+let is_induction_update (x : string) (e : Ast.exp) : bool =
+  match e with
+  | Ast.Binop ((Ast.Add | Ast.Sub), Ast.Lval (_, Ast.Var y), c) ->
+    String.equal x y && is_const_int c
+  | _ -> false
+
+(** Statements whose stores happen inside the loop's iteration space:
+    body and step (+ bodies of reachable callees, supplied by caller). *)
+let loop_iter_stmts (loop_stmt : Ast.stmt) : Ast.stmt list =
+  match loop_stmt.Ast.skind with
+  | Ast.Swhile (_, _, body) -> [ body ]
+  | Ast.Sfor (_, _, _, step, body) -> [ step; body ]
+  | _ -> invalid_arg "loop_iter_stmts: not a loop"
+
+(** Names of the basic induction variables of [loop_stmt]. *)
+let find (prog : Ast.program) (loop_stmt : Ast.stmt) : string list =
+  let callees =
+    (* reuse the profiler's notion of reachability, duplicated here to
+       avoid a dependency cycle: names called in the loop, transitively *)
+    let seen = Hashtbl.create 8 in
+    let rec visit (s : Ast.stmt) =
+      ignore
+        (Visit.map_stmt
+           (fun s ->
+             (match s.Ast.skind with
+             | Ast.Scall (_, f, _) when not (Hashtbl.mem seen f) ->
+               Hashtbl.replace seen f ();
+               (match Ast.find_fun prog f with
+               | Some fd -> visit fd.Ast.fbody
+               | None -> ())
+             | _ -> ());
+             s)
+           s)
+    in
+    List.iter visit (loop_iter_stmts loop_stmt);
+    List.filter (fun f -> Hashtbl.mem seen f.Ast.fname) (Ast.functions prog)
+  in
+  let stmts =
+    loop_iter_stmts loop_stmt @ List.map (fun f -> f.Ast.fbody) callees
+  in
+  let stores = List.concat_map var_stores stmts in
+  let candidates =
+    List.sort_uniq compare (List.map fst stores)
+  in
+  List.filter
+    (fun x ->
+      List.for_all
+        (fun (y, e) -> (not (String.equal x y)) || is_induction_update x e)
+        stores
+      && not (address_taken prog x))
+    candidates
+
+(** Access ids of all accesses to the given variables within the loop's
+    site set. *)
+let access_ids_of_vars (sites : Depgraph.Graph.site list)
+    (prog : Ast.program) (loop_stmt : Ast.stmt) (vars : string list) :
+    Ast.aid list =
+  ignore prog;
+  let in_vars lv =
+    match lv with Ast.Var x -> List.mem x vars | _ -> false
+  in
+  (* recover lvalues by re-walking the loop and callees *)
+  let stmts = loop_iter_stmts loop_stmt in
+  let collect s =
+    Visit.fold_stmt_accesses
+      (fun acc (a : Visit.access) ->
+        if in_vars a.Visit.acc_lval then a.Visit.acc_aid :: acc else acc)
+      [] s
+  in
+  let direct = List.concat_map collect stmts in
+  (* condition accesses *)
+  let cond_aids =
+    let c, _ = Visit.loop_parts loop_stmt in
+    Visit.fold_exp_accesses
+      (fun acc (a : Visit.access) ->
+        if in_vars a.Visit.acc_lval then a.Visit.acc_aid :: acc else acc)
+      [] c
+  in
+  let site_aids =
+    List.map (fun (s : Depgraph.Graph.site) -> s.Depgraph.Graph.s_aid) sites
+  in
+  List.filter (fun a -> List.mem a site_aids) (direct @ cond_aids)

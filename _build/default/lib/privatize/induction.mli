@@ -1,0 +1,24 @@
+(** Basic induction-variable recognition.
+
+    The parallel runtime manages the loop index itself (each thread
+    computes its own chunk's indices), so the index's loop-carried
+    flow dependence never crosses threads — the one relaxation of
+    Definition 5 the paper relies on implicitly. A variable qualifies
+    when every store to it inside the loop (body, step, and all
+    callees) has the single syntactic shape [x = x + c] / [x = x - c]
+    with constant [c], and its address is never taken. *)
+
+open Minic
+
+(** Names of the basic induction variables of a target loop. *)
+val find : Ast.program -> Ast.stmt -> string list
+
+(** Access ids of all accesses to the given variables within the
+    loop's own statements (body/step/condition), restricted to the
+    supplied site list. *)
+val access_ids_of_vars :
+  Depgraph.Graph.site list ->
+  Ast.program ->
+  Ast.stmt ->
+  string list ->
+  Ast.aid list

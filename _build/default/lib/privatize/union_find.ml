@@ -1,0 +1,55 @@
+(** Union-find with path compression and union by rank; backs the
+    access-class equivalence of Definition 4. Keys are arbitrary ints
+    (access ids). *)
+
+type t = {
+  parent : (int, int) Hashtbl.t;
+  rank : (int, int) Hashtbl.t;
+}
+
+let create () = { parent = Hashtbl.create 64; rank = Hashtbl.create 64 }
+
+let add uf x =
+  if not (Hashtbl.mem uf.parent x) then begin
+    Hashtbl.replace uf.parent x x;
+    Hashtbl.replace uf.rank x 0
+  end
+
+let rec find uf x : int =
+  add uf x;
+  let p = Hashtbl.find uf.parent x in
+  if p = x then x
+  else begin
+    let root = find uf p in
+    Hashtbl.replace uf.parent x root;
+    root
+  end
+
+let union uf a b =
+  let ra = find uf a and rb = find uf b in
+  if ra <> rb then begin
+    let ka = Hashtbl.find uf.rank ra and kb = Hashtbl.find uf.rank rb in
+    if ka < kb then Hashtbl.replace uf.parent ra rb
+    else if ka > kb then Hashtbl.replace uf.parent rb ra
+    else begin
+      Hashtbl.replace uf.parent rb ra;
+      Hashtbl.replace uf.rank ra (ka + 1)
+    end
+  end
+
+let same uf a b = find uf a = find uf b
+
+(** All classes, each as a sorted member list. *)
+let classes uf : int list list =
+  let by_root = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun x _ ->
+      let r = find uf x in
+      Hashtbl.replace by_root r
+        (x :: Option.value ~default:[] (Hashtbl.find_opt by_root r)))
+    uf.parent;
+  Hashtbl.fold (fun _ members acc -> List.sort compare members :: acc) by_root []
+  |> List.sort compare
+
+let members uf : int list =
+  Hashtbl.fold (fun x _ acc -> x :: acc) uf.parent []

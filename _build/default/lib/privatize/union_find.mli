@@ -1,0 +1,23 @@
+(** Union-find with path compression and union by rank; backs the
+    access-class equivalence of Definition 4. Keys are arbitrary ints
+    (access ids). *)
+
+type t
+
+val create : unit -> t
+
+(** Register a key as its own singleton class (idempotent). *)
+val add : t -> int -> unit
+
+(** Canonical representative of a key's class (adds it if new). *)
+val find : t -> int -> int
+
+val union : t -> int -> int -> unit
+val same : t -> int -> int -> bool
+
+(** All classes, each as a sorted member list, deterministically
+    ordered. *)
+val classes : t -> int list list
+
+(** Every key ever added. *)
+val members : t -> int list

@@ -1,0 +1,46 @@
+(** ASCII table / series rendering and the summary statistics the
+    paper reports (harmonic means over benchmarks). *)
+
+let harmonic_mean (xs : float list) : float =
+  match xs with
+  | [] -> nan
+  | _ ->
+    let n = float_of_int (List.length xs) in
+    n /. List.fold_left (fun acc x -> acc +. (1.0 /. x)) 0.0 xs
+
+let geometric_mean (xs : float list) : float =
+  match xs with
+  | [] -> nan
+  | _ ->
+    let n = float_of_int (List.length xs) in
+    exp (List.fold_left (fun acc x -> acc +. log x) 0.0 xs /. n)
+
+(** Render rows as a fixed-width table with a header. *)
+let render ~(header : string list) (rows : string list list) : string =
+  let all = header :: rows in
+  let cols = List.length header in
+  let width c =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row c with
+        | Some cell -> max acc (String.length cell)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init cols width in
+  let line row =
+    String.concat "  "
+      (List.mapi
+         (fun c cell ->
+           let w = List.nth widths c in
+           if c = 0 then Printf.sprintf "%-*s" w cell
+           else Printf.sprintf "%*s" w cell)
+         row)
+  in
+  let sep =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n" (line header :: sep :: List.map line rows) ^ "\n"
+
+let fx f = Printf.sprintf "%.2f" f
+let pct f = Printf.sprintf "%.1f%%" (100.0 *. f)

@@ -1,0 +1,15 @@
+(** ASCII table / series rendering and the summary statistics the
+    paper reports (harmonic means over benchmarks). *)
+
+val harmonic_mean : float list -> float
+val geometric_mean : float list -> float
+
+(** Render rows as a fixed-width table under a header: first column
+    left-aligned, the rest right-aligned. *)
+val render : header:string list -> string list list -> string
+
+(** ["1.93"]-style fixed-point rendering. *)
+val fx : float -> string
+
+(** [pct 0.427] is ["42.7%"]. *)
+val pct : float -> string

@@ -1,0 +1,1 @@
+lib/runtimepriv/rp.ml: Ast Hashtbl Interp List Minic Parexec Privatize Visit

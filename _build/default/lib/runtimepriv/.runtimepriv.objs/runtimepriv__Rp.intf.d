@@ -1,0 +1,1 @@
+lib/runtimepriv/rp.mli: Ast Minic Parexec Privatize

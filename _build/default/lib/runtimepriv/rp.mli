@@ -1,0 +1,16 @@
+(** The runtime-privatization baseline of §4.2.1, adapted from SpiceC
+    exactly the way the paper adapted it: a runtime access-control
+    call before each private access, with copy-commit of privately
+    written bytes at iteration boundaries. The baseline runs the same
+    statically-correct privatized program (results stay bit-identical
+    and comparable); only the charged costs differ. *)
+
+open Minic
+
+(** Build the baseline configuration from the {e original} program and
+    its analyses. Plain locals/formals are skipped (thread-private
+    without runtime involvement); access ids are preserved by the
+    expansion, so the set applies unchanged to the transformed
+    program. *)
+val config_of :
+  Ast.program -> Privatize.Analyze.result list -> Parexec.Sim.runtime_priv

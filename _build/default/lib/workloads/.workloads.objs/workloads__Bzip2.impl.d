@@ -1,0 +1,1 @@
+lib/workloads/bzip2.ml: Workload

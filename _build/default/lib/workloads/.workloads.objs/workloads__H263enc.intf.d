@@ -1,0 +1,1 @@
+lib/workloads/h263enc.mli: Workload

@@ -1,0 +1,1 @@
+lib/workloads/md5.mli: Workload

@@ -1,0 +1,1 @@
+lib/workloads/mpeg2dec.ml: Workload

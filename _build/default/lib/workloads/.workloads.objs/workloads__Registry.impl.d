@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Bzip2 Dijkstra H263enc Hmmer Lbm List Md5 Mpeg2dec Mpeg2enc Printf String Workload

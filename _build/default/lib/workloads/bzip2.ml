@@ -1,0 +1,218 @@
+(** SPEC CPU2000 256.bzip2 model: [compressStream]'s block loop.
+
+    Each iteration takes the next block from the input stream (reading
+    the shared input cursor early), builds the working arrays — the
+    block buffer, the [quadrant] shadow, the [zptr] permutation that is
+    famously recast between 2-byte and 4-byte views, and the [ftab]
+    bucket table — sorts the block, and appends the "compressed" result
+    to the shared output stream (updating the output cursor late).
+    The four working structures are the privatized ones (Table 5 lists
+    four for 256.bzip2); the input and output cursors are two
+    independent DOACROSS synchronization channels, and the ordered
+    output append gives the loop its sync-dominated profile at eight
+    cores (Figure 12). *)
+
+let source =
+  {|
+// 256.bzip2: block compression loop (model of SPEC2000/bzip2)
+
+char instream[24576];
+int in_cursor;
+char outstream[32768];
+int out_cursor;
+long out_crc;
+int crc_table[256];
+
+// the four privatized working structures
+char block[600];
+char quadrant[600];
+int zptr[600];
+int ftab[256];
+
+int block_size;
+
+void load_block(void)
+{
+  // read up to 512 bytes from the shared input stream
+  int i;
+  block_size = 0;
+  for (i = 0; i < 256; i++) {
+    if (in_cursor >= 24576) break;
+    block[block_size] = instream[in_cursor];
+    in_cursor = in_cursor + 1;
+    block_size = block_size + 1;
+  }
+  // overshoot region used by the sort comparisons
+  for (i = block_size; i < 600; i++) block[i] = 0;
+}
+
+void build_ftab(void)
+{
+  int i;
+  for (i = 0; i < 256; i++) ftab[i] = 0;
+  for (i = 0; i < block_size; i++)
+    ftab[block[i] & 255] = ftab[block[i] & 255] + 1;
+  int run = 0;
+  for (i = 0; i < 256; i++) {
+    int c = ftab[i];
+    ftab[i] = run;
+    run = run + c;
+  }
+}
+
+int full_gt(int a, int b)
+{
+  // compare rotations a and b of the block, quadrant as tie-break
+  int k;
+  for (k = 0; k < 6; k++) {
+    int ca = block[(a + k) % 600] & 255;
+    int cb = block[(b + k) % 600] & 255;
+    if (ca != cb) return ca > cb;
+    int qa = quadrant[(a + k) % 600];
+    int qb = quadrant[(b + k) % 600];
+    if (qa != qb) return qa > qb;
+  }
+  return 0;
+}
+
+void sort_block(void)
+{
+  // bucket by first byte via ftab, then insertion sort within buckets
+  build_ftab();
+  int i;
+  for (i = 0; i < block_size; i++) quadrant[i] = (block[i] & 255) / 16;
+  for (i = block_size; i < 600; i++) quadrant[i] = 0;
+  // scatter indices into zptr by bucket
+  int tmp[256];
+  for (i = 0; i < 256; i++) tmp[i] = ftab[i];
+  for (i = 0; i < block_size; i++) {
+    int b = block[i] & 255;
+    zptr[tmp[b]] = i;
+    tmp[b] = tmp[b] + 1;
+  }
+  // refine each bucket (the recast: walk zptr as 2-byte shorts to
+  // touch the low halves during the insertion, like the original's
+  // 2-byte/4-byte double view)
+  short *zs = (short *)zptr;
+  int bucket;
+  for (bucket = 0; bucket < 256; bucket++) {
+    int lo = ftab[bucket];
+    int hi;
+    if (bucket == 255) hi = block_size;
+    else hi = ftab[bucket + 1];
+    int j;
+    for (j = lo + 1; j < hi; j++) {
+      int v = zptr[j];
+      int vlow = zs[j * 2];
+      int k = j - 1;
+      int moving = 1;
+      while (moving) {
+        if (k < lo) { moving = 0; continue; }
+        int gt = full_gt(zptr[k], v);
+        if (!gt) { moving = 0; continue; }
+        zptr[k + 1] = zptr[k];
+        k = k - 1;
+      }
+      zptr[k + 1] = v;
+      zs[(k + 1) * 2] = vlow;
+    }
+  }
+}
+
+int bit_buf;
+int bit_count;
+
+void put_bits(int value, int nbits)
+{
+  // the original writes the compressed stream bit by bit through a
+  // shared bit buffer; this is inherently ordered output
+  int k;
+  for (k = nbits - 1; k >= 0; k--) {
+    bit_buf = (bit_buf << 1) | ((value >> k) & 1);
+    bit_count = bit_count + 1;
+    if (bit_count == 8) {
+      if (out_cursor < 32768) {
+        outstream[out_cursor] = (char)bit_buf;
+        out_cursor = out_cursor + 1;
+      }
+      out_crc = crc_table[((int)out_crc ^ bit_buf) & 255] ^ (out_crc >> 8);
+      bit_buf = 0;
+      bit_count = 0;
+    }
+  }
+}
+
+void emit_block(void)
+{
+  // append an MTF/RLE-ish encoding of the sorted permutation to the
+  // shared output stream, bit-granular and in block order; every
+  // 16-value group carries a selector byte like sendMTFValues
+  int i;
+  int prev = -1;
+  int run = 0;
+  int group = 0;
+  for (i = 0; i < block_size; i++) {
+    int v = block[zptr[i] % 600] & 255;
+    if (v == prev) {
+      run = run + 1;
+      if (run == 255) { put_bits(run, 8); run = 0; }
+    } else {
+      if (run > 0) put_bits(run, 8);
+      run = 0;
+      put_bits(v, 8);
+      put_bits(v >> 4, 4);
+      prev = v;
+    }
+    group = group + v;
+    if (i % 16 == 15) {
+      put_bits(group & 255, 8);
+      group = 0;
+    }
+  }
+  if (run > 0) put_bits(run, 8);
+}
+
+void make_input(void)
+{
+  srand(256256);
+  int i;
+  for (i = 0; i < 256; i++)
+    crc_table[i] = (i * 0x1081 + 0x5a5a) ^ (i << 13);
+  for (i = 0; i < 24576; i++) {
+    // compressible-ish input: long runs with noise
+    int r = rand();
+    if (r % 7 < 4) instream[i] = 32 + (i / 3) % 64;
+    else instream[i] = r % 251;
+  }
+}
+
+int main(void)
+{
+  make_input();
+  int blk;
+#pragma parallel
+  for (blk = 0; blk < 96; blk++) {
+    load_block();
+    if (block_size == 0) continue;
+    sort_block();
+    emit_block();
+  }
+  printf("bzip2 out %d crc %d\n", out_cursor, (int)out_crc);
+  return 0;
+}
+|}
+
+let workload : Workload.t =
+  {
+    Workload.name = "256.bzip2";
+    suite = "SPEC CPU2000";
+    source;
+    loop_functions = [ "main" ];
+    nest_levels = [ 2 ];
+    paper_parallelism = "DOACROSS";
+    paper_privatized = 4;
+    description =
+      "one block sorted per iteration; privatizes block, quadrant, the \
+       recast zptr and ftab; input and output cursors are ordered \
+       channels, making the loop sync-bound at high thread counts";
+  }

@@ -1,0 +1,168 @@
+(** MediaBench II h263-encoder model: the two parallel loops of the
+    paper's Table 4 — [NextTwoPB] (choosing the coding mode for the
+    next P/B picture pair per macroblock) and [MotionEstimatePicture]
+    (block motion estimation). Both loops are DOALL and together the
+    expansion privatizes six scratch structures. Both are marked
+    [#pragma parallel]; the harness parallelizes both, as the paper's
+    whole-program numbers do. *)
+
+let source =
+  {|
+// h263-encoder: NextTwoPB + MotionEstimatePicture
+// (model of MediaBench II h263enc)
+
+int frame_a[128][80];
+int frame_b[128][80];
+int frame_c[128][80];
+int mode_out[40];
+int mvx_out[40];
+int mvy_out[40];
+long bits_estimate;
+
+// privatized structures (six in total)
+int diff_pb[16][16];
+int diff_bb[16][16];
+struct sadacc { int fwd; int bwd; int bi; };
+struct sadacc sacc;
+int mb_cur[16][16];
+int mb_ref[16][16];
+int sad_line[16];
+
+void load_mb(int which, int mbx, int mby)
+{
+  int i;
+  int j;
+  for (i = 0; i < 16; i++)
+    for (j = 0; j < 16; j++) {
+      if (which == 0) mb_cur[i][j] = frame_b[mbx * 16 + i][mby * 16 + j];
+      else mb_ref[i][j] = frame_a[mbx * 16 + i][mby * 16 + j];
+    }
+}
+
+// ---- loop 1: NextTwoPB -------------------------------------------------
+
+void next_two_pb(int mb)
+{
+  int mbx = mb / 5;
+  int mby = mb % 5;
+  int i;
+  int j;
+  sacc.fwd = 0;
+  sacc.bwd = 0;
+  sacc.bi = 0;
+  for (i = 0; i < 16; i++)
+    for (j = 0; j < 16; j++) {
+      int a = frame_a[mbx * 16 + i][mby * 16 + j];
+      int b = frame_b[mbx * 16 + i][mby * 16 + j];
+      int c = frame_c[mbx * 16 + i][mby * 16 + j];
+      diff_pb[i][j] = b - a;
+      diff_bb[i][j] = c - b;
+      int dpb = diff_pb[i][j];
+      if (dpb < 0) dpb = -dpb;
+      int dbb = diff_bb[i][j];
+      if (dbb < 0) dbb = -dbb;
+      int dbi = b - (a + c) / 2;
+      if (dbi < 0) dbi = -dbi;
+      sacc.fwd = sacc.fwd + dpb;
+      sacc.bwd = sacc.bwd + dbb;
+      sacc.bi = sacc.bi + dbi;
+    }
+  int mode = 0;
+  if (sacc.bwd < sacc.fwd && sacc.bwd <= sacc.bi) mode = 1;
+  if (sacc.bi < sacc.fwd && sacc.bi < sacc.bwd) mode = 2;
+  mode_out[mb] = mode;
+}
+
+// ---- loop 2: MotionEstimatePicture --------------------------------------
+
+int mb_sad(int mbx, int mby, int dx, int dy)
+{
+  int i;
+  int j;
+  int total = 0;
+  for (i = 0; i < 16; i++) {
+    int row = 0;
+    for (j = 0; j < 16; j++) {
+      int r = mbx * 16 + i + dx;
+      int c = mby * 16 + j + dy;
+      if (r < 0) r = 0;
+      if (r > 127) r = 127;
+      if (c < 0) c = 0;
+      if (c > 79) c = 79;
+      int d = mb_cur[i][j] - frame_a[r][c];
+      if (d < 0) d = -d;
+      row = row + d;
+    }
+    sad_line[i] = row;
+    total = total + row;
+  }
+  return total;
+}
+
+void motion_estimate(int mb)
+{
+  int mbx = mb / 5;
+  int mby = mb % 5;
+  load_mb(0, mbx, mby);
+  int best = 1 << 29;
+  int bx = 0;
+  int by = 0;
+  int dx;
+  int dy;
+  for (dx = -3; dx <= 3; dx++)
+    for (dy = -3; dy <= 3; dy++) {
+      int s = mb_sad(mbx, mby, dx, dy);
+      if (s < best) { best = s; bx = dx; by = dy; }
+    }
+  mvx_out[mb] = bx;
+  mvy_out[mb] = by;
+}
+
+void make_frames(void)
+{
+  srand(31337);
+  int i;
+  int j;
+  for (i = 0; i < 128; i++)
+    for (j = 0; j < 80; j++) {
+      frame_a[i][j] = rand() % 256;
+      frame_b[i][j] = (frame_a[i][j] + rand() % 9 - 4 + 256) % 256;
+      frame_c[i][j] = (frame_b[i][j] + rand() % 9 - 4 + 256) % 256;
+    }
+}
+
+int main(void)
+{
+  make_frames();
+  int mb;
+#pragma parallel
+  for (mb = 0; mb < 40; mb++) {
+    next_two_pb(mb);
+  }
+#pragma parallel
+  for (mb = 0; mb < 40; mb++) {
+    motion_estimate(mb);
+  }
+  int cs = 0;
+  for (mb = 0; mb < 40; mb++)
+    cs = cs + mode_out[mb] * 1009 + mvx_out[mb] * 37 + mvy_out[mb];
+  bits_estimate = cs;
+  printf("h263enc checksum %d\n", (int)bits_estimate);
+  return 0;
+}
+|}
+
+let workload : Workload.t =
+  {
+    Workload.name = "h263-encoder";
+    suite = "MediaBench II";
+    source;
+    loop_functions = [ "main"; "main" ];
+    nest_levels = [ 2; 2 ];
+    paper_parallelism = "DOALL";
+    paper_privatized = 6;
+    description =
+      "two DOALL loops (NextTwoPB, MotionEstimatePicture); privatizes the \
+       P/B difference blocks, the SAD accumulator record, the current and \
+       reference macroblock buffers and the SAD line buffer";
+  }

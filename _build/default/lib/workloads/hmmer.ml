@@ -1,0 +1,188 @@
+(** SPEC CPU2006 456.hmmer model: the serial main loop.
+
+    Each iteration runs a Viterbi-style dynamic program for one
+    sequence against the profile HMM. The DP matrix [mx] is allocated
+    through the ambiguous two-site malloc of the paper's Figure 3 (the
+    very example motivating the span machinery), alongside seven more
+    score buffers — Table 5 lists eight privatized structures. After
+    the DP, the iteration consults the running best score (reading it
+    early for the reporting threshold), and finishes with an ordered
+    trace-back that appends the alignment to a shared buffer — the
+    serial tail that makes hmmer's speedup plateau and its eight-core
+    profile synchronization-heavy (Figure 12). *)
+
+let source =
+  {|
+// 456.hmmer: one sequence scored per iteration (model of SPEC/hmmer)
+
+int seqs[64][96];
+int seq_len[64];
+int hmm_match[16][24];
+int hmm_insert[16][24];
+int hmm_trans[16][8];
+
+// privatized score structures (eight, counting mx from its two sites)
+int *mx;
+int mmx_row[16];
+int imx_row[16];
+int dmx_row[16];
+int xmx[8];
+int scbuf[96];
+int tbtab[96];
+struct vstate { int best; int besti; int bestj; };
+struct vstate vst;
+
+// shared, ordered outputs
+int global_best;
+int global_hits;
+char align_buf[8192];
+int align_pos;
+
+void alloc_matrix(int max_len)
+{
+  // Figure 3: which site allocates is input-dependent, so only the
+  // span mechanism lets redirection find the copy stride
+  int cells = (max_len + 1) * 16;
+  int m1 = cells * 4;
+  int m2 = (cells + 64) * 4;
+  if (max_len % 2 == 0) mx = (int *)malloc(m1);
+  else mx = (int *)malloc(m2);
+}
+
+int viterbi(int s)
+{
+  int len = seq_len[s];
+  int i;
+  int k;
+  vst.best = -1 << 29;
+  vst.besti = 0;
+  vst.bestj = 0;
+  for (k = 0; k < 16; k++) {
+    mmx_row[k] = -1 << 20;
+    imx_row[k] = -1 << 20;
+    dmx_row[k] = -1 << 20;
+    mx[k] = 0;
+  }
+  for (k = 0; k < 8; k++) xmx[k] = 0;
+  for (i = 1; i <= len; i++) {
+    int sym = seqs[s][i - 1] % 24;
+    scbuf[i - 1] = 0;
+    for (k = 1; k < 16; k++) {
+      int mprev = mx[(i - 1) * 16 + (k - 1)];
+      int best = mprev + hmm_trans[k][0];
+      int ins = imx_row[k - 1] + hmm_trans[k][1];
+      if (ins > best) best = ins;
+      int del = dmx_row[k - 1] + hmm_trans[k][2];
+      if (del > best) best = del;
+      int sc = best + hmm_match[k][sym];
+      mx[i * 16 + k] = sc;
+      imx_row[k] = sc + hmm_insert[k][sym] / 2;
+      dmx_row[k] = sc - hmm_trans[k][3];
+      if (sc > scbuf[i - 1]) scbuf[i - 1] = sc;
+      if (sc > vst.best) {
+        vst.best = sc;
+        vst.besti = i;
+        vst.bestj = k;
+      }
+    }
+  }
+  return vst.best;
+}
+
+void traceback(int s)
+{
+  // ordered alignment output: re-derive each step of the optimal path
+  // (as the original's P7ViterbiTrace re-examines the DP cells) and
+  // append the alignment record to the shared buffer
+  int i = vst.besti;
+  int j = vst.bestj;
+  if (j < 1) j = 1;
+  int n = 0;
+  while (i > 0 && n < 160) {
+    int cell = mx[i * 16 + j];
+    tbtab[n % 96] = cell;
+    int sym = seqs[s][i - 1] % 24;
+    // rescore the predecessor candidates to find which move was taken
+    int bestk = 1;
+    int bestv = -1 << 29;
+    int k;
+    for (k = 1; k < 16; k++) {
+      int cand = mx[(i - 1) * 16 + k] + hmm_trans[k][0]
+                 + hmm_match[k][sym] - (j - k) * (j - k)
+                 + hmm_insert[k][sym] / 4;
+      if (cand > bestv) { bestv = cand; bestk = k; }
+    }
+    char c;
+    if (cell % 3 == 0) { c = 'M'; i = i - 1; j = j > 1 ? j - 1 : bestk; }
+    else if (cell % 3 == 1) { c = 'I'; i = i - 1; }
+    else { c = 'D'; j = j > 1 ? j - 1 : bestk; i = i - 1; }
+    if (align_pos < 8188) {
+      align_buf[align_pos] = c;
+      align_buf[align_pos + 1] = (char)('a' + sym);
+      align_buf[align_pos + 2] = (char)('A' + bestk % 26);
+      align_pos = align_pos + 3;
+    }
+    n = n + 1;
+  }
+  if (align_pos < 8191) {
+    align_buf[align_pos] = '|';
+    align_pos = align_pos + 1;
+  }
+}
+
+void make_model(void)
+{
+  srand(456456);
+  int s;
+  int k;
+  for (s = 0; s < 64; s++) {
+    seq_len[s] = 48 + rand() % 48;
+    int i;
+    for (i = 0; i < 96; i++) seqs[s][i] = rand() % 24;
+  }
+  for (k = 0; k < 16; k++) {
+    int a;
+    for (a = 0; a < 24; a++) {
+      hmm_match[k][a] = rand() % 17 - 8;
+      hmm_insert[k][a] = rand() % 9 - 4;
+    }
+    for (a = 0; a < 8; a++) hmm_trans[k][a] = rand() % 7 - 3;
+  }
+}
+
+int main(void)
+{
+  make_model();
+  alloc_matrix(96);
+  int s;
+#pragma parallel
+  for (s = 0; s < 64; s++) {
+    int score = viterbi(s);
+    // ordered reporting phase: threshold check, trace-back, best update
+    if (score > global_best - 40) {
+      traceback(s);
+      global_hits = global_hits + 1;
+    }
+    if (score > global_best) global_best = score;
+  }
+  printf("hmmer best %d hits %d aligned %d\n",
+         global_best, global_hits, align_pos);
+  free(mx);
+  return 0;
+}
+|}
+
+let workload : Workload.t =
+  {
+    Workload.name = "456.hmmer";
+    suite = "SPEC CPU2006";
+    source;
+    loop_functions = [ "main" ];
+    nest_levels = [ 2 ];
+    paper_parallelism = "DOACROSS";
+    paper_privatized = 8;
+    description =
+      "Viterbi DP per sequence; privatizes the ambiguously-allocated mx \
+       (Figure 3) plus seven score buffers; the ordered best-score and \
+       alignment trace-back serialize the tail of each iteration";
+  }

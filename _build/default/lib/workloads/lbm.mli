@@ -1,0 +1,5 @@
+(** lbm benchmark model; see the module implementation for the full
+    description and the MiniC source. *)
+
+val source : string
+val workload : Workload.t

@@ -1,0 +1,143 @@
+(** MiBench md5 model.
+
+    The original hashes many independent inputs; each iteration resets
+    a context structure and a 64-byte working block, runs the four
+    MD5-style mixing rounds over the message, and stores the digest
+    into a per-input result slot. The context and block are the
+    privatized structure (Table 5 lists one for md5); results are
+    disjoint per iteration, so the loop is DOALL. MiniC integers are
+    signed with 32-bit wraparound, which the round functions rely on
+    exactly like the real code. *)
+
+let source =
+  {|
+// md5: hash one message per iteration (model of MiBench/md5)
+
+struct md5ctx {
+  int a;
+  int b;
+  int c;
+  int d;
+  int block[16];
+  int length;
+};
+
+struct md5ctx ctx;
+int digests[128][4];
+char messages[128][64];
+int sines[64];
+
+int rotl(int x, int n)
+{
+  // rotate left on 32 bits; >> sign-extends, so mask the high bits
+  int hi = x >> (32 - n);
+  int mask = (1 << n) - 1;
+  return (x << n) | (hi & mask);
+}
+
+void md5_init(int seed)
+{
+  ctx.a = 0x67452301;
+  ctx.b = 0xefcdab89 + seed;
+  ctx.c = 0x98badcfe;
+  ctx.d = 0x10325476;
+  ctx.length = 0;
+  int i;
+  for (i = 0; i < 16; i++) ctx.block[i] = 0;
+}
+
+void md5_fill_block(int msg)
+{
+  int i;
+  for (i = 0; i < 16; i++) {
+    int w = 0;
+    int j;
+    for (j = 0; j < 4; j++) {
+      w = (w << 8) | messages[msg][i * 4 + j];
+    }
+    ctx.block[i] = w;
+  }
+  ctx.length = ctx.length + 64;
+}
+
+void md5_rounds(void)
+{
+  int a = ctx.a;
+  int b = ctx.b;
+  int c = ctx.c;
+  int d = ctx.d;
+  int i;
+  for (i = 0; i < 64; i++) {
+    int f;
+    int g;
+    if (i < 16) { f = (b & c) | (~b & d); g = i; }
+    else if (i < 32) { f = (d & b) | (~d & c); g = (5 * i + 1) % 16; }
+    else if (i < 48) { f = b ^ c ^ d; g = (3 * i + 5) % 16; }
+    else { f = c ^ (b | ~d); g = (7 * i) % 16; }
+    int tmp = d;
+    d = c;
+    c = b;
+    int rot = 7 + (i % 4) * 5;
+    b = b + rotl(a + f + sines[i] + ctx.block[g], rot);
+    a = tmp;
+  }
+  ctx.a = ctx.a + a;
+  ctx.b = ctx.b + b;
+  ctx.c = ctx.c + c;
+  ctx.d = ctx.d + d;
+}
+
+void make_inputs(void)
+{
+  srand(12345);
+  int m;
+  for (m = 0; m < 128; m++) {
+    int i;
+    for (i = 0; i < 64; i++)
+      messages[m][i] = (rand() + m * 31 + i) % 251;
+  }
+  int k;
+  for (k = 0; k < 64; k++)
+    sines[k] = rand() ^ (k * 0x9e3779b9);
+}
+
+int main(void)
+{
+  make_inputs();
+  int msg;
+#pragma parallel
+  for (msg = 0; msg < 128; msg++) {
+    md5_init(msg);
+    int chunk;
+    for (chunk = 0; chunk < 6; chunk++) {
+      md5_fill_block(msg);
+      md5_rounds();
+    }
+    digests[msg][0] = ctx.a;
+    digests[msg][1] = ctx.b;
+    digests[msg][2] = ctx.c;
+    digests[msg][3] = ctx.d;
+  }
+  int x = 0;
+  int m;
+  for (m = 0; m < 128; m++) {
+    x = x ^ digests[m][0] ^ digests[m][1] ^ digests[m][2] ^ digests[m][3];
+  }
+  printf("md5 checksum %d\n", x);
+  return 0;
+}
+|}
+
+let workload : Workload.t =
+  {
+    Workload.name = "md5";
+    suite = "MiBench";
+    source;
+    loop_functions = [ "main" ];
+    nest_levels = [ 1 ];
+    paper_parallelism = "DOALL";
+    paper_privatized = 1;
+    description =
+      "hashes independent messages; privatizes the global digest context \
+       reused across iterations";
+  }

@@ -1,0 +1,158 @@
+(** MediaBench II mpeg2-decoder model: picture-data decoding.
+
+    The parallelized loop (level 2) decodes one slice per iteration:
+    entropy-ish unpacking of coefficients into a block buffer, a
+    separable inverse DCT through a temp matrix, then motion
+    compensation against the previous frame into the slice's disjoint
+    rows of the output picture. The block buffer, the IDCT temp and the
+    bit-reader state are the three privatized structures. The output
+    and reference frames are large, so aggregate cache pressure rises
+    with thread count — the decoder's plateau in Figure 11 comes from
+    exactly that ("suffer from increased cache misses as the number of
+    cores increases"). *)
+
+let source =
+  {|
+// mpeg2-decoder: slice decoding (model of MediaBench II mpeg2dec)
+
+int coded[48][768];      // pseudo-bitstream: coefficients per slice
+int prev_frame[192][192];
+int out_frame[192][192];
+int mv_table[48];
+
+// privatized decoding state
+int block[8][8];
+int idct_tmp[8][8];
+struct bitreader { int pos; int run; int level; };
+struct bitreader br;
+
+int clamp255(int v)
+{
+  if (v < 0) return 0;
+  if (v > 255) return 255;
+  return v;
+}
+
+void read_block(int slice, int blkno)
+{
+  // unpack 64 coefficients with a run/level scheme
+  int i;
+  for (i = 0; i < 64; i++) block[i / 8][i % 8] = 0;
+  br.run = 0;
+  br.level = 0;
+  int k = 0;
+  while (k < 64) {
+    int code = coded[slice][blkno * 16 + (k % 16)];
+    br.run = code % 5;
+    br.level = (code / 5) % 64 - 32;
+    k = k + br.run + 1;
+    if (k < 64) block[k / 8][k % 8] = br.level;
+    br.pos = br.pos + 1;
+    if (br.level == 0 && br.run == 0) k = k + 7; // escape
+  }
+}
+
+void idct8x8(void)
+{
+  // separable integer transform through idct_tmp
+  int i;
+  int j;
+  int k;
+  for (i = 0; i < 8; i++)
+    for (j = 0; j < 8; j++) {
+      int s1 = 0;
+      for (k = 0; k < 8; k++)
+        s1 = s1 + block[i][k] * ((k + 1) * (j + 1) % 7 - 3);
+      idct_tmp[i][j] = s1 / 4;
+    }
+  for (i = 0; i < 8; i++)
+    for (j = 0; j < 8; j++) {
+      int s2 = 0;
+      for (k = 0; k < 8; k++)
+        s2 = s2 + idct_tmp[k][j] * ((k + 1) * (i + 1) % 7 - 3);
+      block[i][j] = s2 / 8;
+    }
+}
+
+void decode_slice(int slice)
+{
+  br.pos = 0;
+  int rows_per_slice = 4;   // 4 pixel rows of 8x8 blocks per slice
+  int mv = mv_table[slice];
+  int b;
+  for (b = 0; b < 24; b++) {
+    read_block(slice, b % 16);
+    idct8x8();
+    int base_r = slice * rows_per_slice + (b / 24) * 4;
+    int base_c = (b % 24) * 8;
+    if (base_c + 8 > 192) base_c = 192 - 8;
+    // per-block motion vectors scatter prediction reads across the
+    // reference frame, as B-frame compensation does
+    int mvr = mv + (coded[slice][b * 16] % 97) - 48;
+    int mvc = mv + (coded[slice][b * 16 + 1] % 97) - 48;
+    int i;
+    int j;
+    for (i = 0; i < 4; i++)
+      for (j = 0; j < 8; j++) {
+        int pr = base_r + i + mvr;
+        int pc = base_c + j + mvc;
+        if (pr < 0) pr = 0;
+        if (pr > 191) pr = 191;
+        if (pc < 0) pc = 0;
+        if (pc > 191) pc = 191;
+        int pred = prev_frame[pr][pc];
+        out_frame[base_r + i][base_c + j] =
+          clamp255(pred + block[(i * 2) % 8][j]);
+      }
+  }
+}
+
+void make_stream(void)
+{
+  srand(4242);
+  int s;
+  int i;
+  for (s = 0; s < 48; s++) {
+    mv_table[s] = rand() % 5 - 2;
+    for (i = 0; i < 768; i++)
+      coded[s][i] = rand() % 320;
+  }
+  for (i = 0; i < 192; i++) {
+    int j;
+    for (j = 0; j < 192; j++)
+      prev_frame[i][j] = (i * 7 + j * 13) % 256;
+  }
+}
+
+int main(void)
+{
+  make_stream();
+  int slice;
+#pragma parallel
+  for (slice = 0; slice < 48; slice++) {
+    decode_slice(slice);
+  }
+  int cs = 0;
+  int i;
+  int j;
+  for (i = 0; i < 192; i++)
+    for (j = 0; j < 192; j++)
+      cs = (cs + out_frame[i][j] * (i + j + 1)) % 1000000007;
+  printf("mpeg2dec frame checksum %d\n", cs);
+  return 0;
+}
+|}
+
+let workload : Workload.t =
+  {
+    Workload.name = "mpeg2-decoder";
+    suite = "MediaBench II";
+    source;
+    loop_functions = [ "main" ];
+    nest_levels = [ 2 ];
+    paper_parallelism = "DOALL";
+    paper_privatized = 3;
+    description =
+      "one slice decoded per iteration; privatizes the coefficient block, \
+       the IDCT temp and the bit-reader state";
+  }

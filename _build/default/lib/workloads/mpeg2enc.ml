@@ -1,0 +1,166 @@
+(** MediaBench II mpeg2-encoder model: block motion estimation.
+
+    The parallelized loop (nest level 3 in the original:
+    sequence->picture->macroblock) estimates a motion vector per
+    macroblock. Each iteration copies the current 16x16 block into
+    scratch buffers, scans a search window over the reference frame
+    computing SADs with intermediate row/column buffers, and emits the
+    best vector into the per-macroblock output slot. The scratch
+    structures (current block, candidate block, interpolated
+    half-pixel block, SAD row accumulators, distortion table, search
+    trace, and the shared motion-state record) are reused by every
+    iteration — the paper privatizes seven structures here. *)
+
+let source =
+  {|
+// mpeg2-encoder: motion estimation per macroblock
+// (model of MediaBench II mpeg2enc, loop in motion_estimation)
+
+int cur_frame[128][96];
+int ref_frame[128][96];
+int mvx_out[48];
+int mvy_out[48];
+int sad_out[48];
+
+// the seven structures the expansion privatizes
+int currblk[16][16];
+int candblk[16][16];
+int halfblk[16][16];
+int sadrow[16];
+int dist_tab[81];
+int trace[32];
+struct mstate { int bestx; int besty; int bestsad; int steps; };
+struct mstate mst;
+
+void load_current(int mbx, int mby)
+{
+  int i;
+  int j;
+  for (i = 0; i < 16; i++)
+    for (j = 0; j < 16; j++)
+      currblk[i][j] = cur_frame[mbx * 16 + i][mby * 16 + j];
+}
+
+int block_sad(int bx, int by)
+{
+  // SAD of currblk against ref at (bx, by), rows accumulated in sadrow
+  int i;
+  int j;
+  int total = 0;
+  for (i = 0; i < 16; i++) {
+    int row = 0;
+    for (j = 0; j < 16; j++) {
+      candblk[i][j] = ref_frame[bx + i][by + j];
+      int d = currblk[i][j] - candblk[i][j];
+      if (d < 0) d = -d;
+      row = row + d;
+    }
+    sadrow[i] = row;
+    total = total + row;
+    if (total >= mst.bestsad) return total; // early exit like the original
+  }
+  return total;
+}
+
+int half_pel_refine(int bx, int by)
+{
+  // refine around the integer-pel winner with an averaged block
+  int i;
+  int j;
+  for (i = 0; i < 16; i++)
+    for (j = 0; j < 16; j++) {
+      int a = ref_frame[bx + i][by + j];
+      int b = ref_frame[bx + i][by + j + 1];
+      halfblk[i][j] = (a + b + 1) / 2;
+    }
+  int total = 0;
+  for (i = 0; i < 16; i++)
+    for (j = 0; j < 16; j++) {
+      int d = currblk[i][j] - halfblk[i][j];
+      if (d < 0) d = -d;
+      total = total + d;
+    }
+  return total;
+}
+
+void estimate_mb(int mb)
+{
+  int mbx = mb / 6;
+  int mby = mb % 6;
+  load_current(mbx, mby);
+  mst.bestx = 0;
+  mst.besty = 0;
+  mst.bestsad = 1 << 29;
+  mst.steps = 0;
+  int dx;
+  int dy;
+  for (dx = -4; dx <= 4; dx++) {
+    for (dy = -4; dy <= 4; dy++) {
+      int bx = mbx * 16 + dx;
+      int by = mby * 16 + dy;
+      if (bx < 0 || by < 0 || bx + 16 > 128 || by + 16 > 96) continue;
+      int sad = block_sad(bx, by);
+      dist_tab[(dx + 4) * 9 + (dy + 4)] = sad;
+      if (mst.steps < 32) trace[mst.steps] = sad;
+      mst.steps = mst.steps + 1;
+      if (sad < mst.bestsad) {
+        mst.bestsad = sad;
+        mst.bestx = dx;
+        mst.besty = dy;
+      }
+    }
+  }
+  int half = half_pel_refine(mbx * 16 + mst.bestx, mby * 16 + mst.besty);
+  if (half < mst.bestsad) mst.bestsad = half;
+  mvx_out[mb] = mst.bestx;
+  mvy_out[mb] = mst.besty;
+  sad_out[mb] = mst.bestsad;
+}
+
+void make_frames(void)
+{
+  srand(99);
+  int i;
+  int j;
+  for (i = 0; i < 128; i++)
+    for (j = 0; j < 96; j++) {
+      ref_frame[i][j] = rand() % 256;
+      // the current frame is the reference shifted by (2,1) plus noise
+      int si = i - 2;
+      int sj = j - 1;
+      if (si < 0) si = 0;
+      if (sj < 0) sj = 0;
+      cur_frame[i][j] = (ref_frame[si][sj] + rand() % 7) % 256;
+    }
+}
+
+int main(void)
+{
+  make_frames();
+  int mb;
+#pragma parallel
+  for (mb = 0; mb < 48; mb++) {
+    estimate_mb(mb);
+  }
+  int cs = 0;
+  for (mb = 0; mb < 48; mb++)
+    cs = cs + mvx_out[mb] * 131 + mvy_out[mb] * 17 + sad_out[mb];
+  printf("mpeg2enc mv checksum %d\n", cs);
+  return 0;
+}
+|}
+
+let workload : Workload.t =
+  {
+    Workload.name = "mpeg2-encoder";
+    suite = "MediaBench II";
+    source;
+    loop_functions = [ "main" ];
+    nest_levels = [ 3 ];
+    paper_parallelism = "DOALL";
+    paper_privatized = 7;
+    description =
+      "motion estimation per macroblock; privatizes current/candidate/\
+       half-pel blocks, SAD rows, distortion table, search trace and the \
+       motion-state record";
+  }

@@ -1,0 +1,24 @@
+(** All benchmark programs of the evaluation, in the paper's Table 4
+    order. *)
+
+let all : Workload.t list =
+  [
+    Dijkstra.workload;
+    Md5.workload;
+    Mpeg2enc.workload;
+    Mpeg2dec.workload;
+    H263enc.workload;
+    Bzip2.workload;
+    Hmmer.workload;
+    Lbm.workload;
+  ]
+
+let find (name : string) : Workload.t =
+  match
+    List.find_opt (fun w -> String.equal w.Workload.name name) all
+  with
+  | Some w -> w
+  | None ->
+    invalid_arg
+      (Printf.sprintf "unknown workload '%s' (have: %s)" name
+         (String.concat ", " (List.map (fun w -> w.Workload.name) all)))

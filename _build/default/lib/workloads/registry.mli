@@ -1,0 +1,10 @@
+(** All benchmark programs of the evaluation, in the paper's Table 4
+    order. *)
+
+val all : Workload.t list
+
+(** Look a workload up by name ("dijkstra", "md5", "mpeg2-encoder",
+    "mpeg2-decoder", "h263-encoder", "256.bzip2", "456.hmmer",
+    "470.lbm").
+    @raise Invalid_argument for unknown names. *)
+val find : string -> Workload.t

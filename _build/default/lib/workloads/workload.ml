@@ -1,0 +1,19 @@
+(** A benchmark program modelling one row of the paper's Table 4. *)
+
+type t = {
+  name : string;
+  suite : string;
+  source : string;  (** MiniC source; parallel loops carry #pragma parallel *)
+  loop_functions : string list;
+      (** function(s) containing the parallelized loop(s), Table 4 *)
+  nest_levels : int list;  (** loop nesting level per parallel loop *)
+  paper_parallelism : string;  (** DOALL / DOACROSS, per the paper *)
+  paper_privatized : int;  (** Table 5's count, for comparison *)
+  description : string;
+}
+
+let loc_count (w : t) : int =
+  (* count non-blank source lines, the paper's #LOC convention *)
+  String.split_on_char '\n' w.source
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.length

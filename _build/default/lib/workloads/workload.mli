@@ -1,0 +1,16 @@
+(** A benchmark program modelling one row of the paper's Table 4. *)
+
+type t = {
+  name : string;
+  suite : string;
+  source : string;  (** MiniC source; parallel loops carry #pragma parallel *)
+  loop_functions : string list;
+      (** function(s) containing the parallelized loop(s), Table 4 *)
+  nest_levels : int list;  (** loop nesting level per parallel loop *)
+  paper_parallelism : string;  (** DOALL / DOACROSS, per the paper *)
+  paper_privatized : int;  (** Table 5's count, for comparison *)
+  description : string;
+}
+
+(** Non-blank source lines, the paper's #LOC convention. *)
+val loc_count : t -> int

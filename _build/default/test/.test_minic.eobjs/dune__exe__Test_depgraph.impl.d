@@ -1,0 +1,1 @@
+test/test_depgraph.ml: Alcotest Ast Depgraph List Minic Privatize QCheck QCheck_alcotest String Test Typecheck Visit

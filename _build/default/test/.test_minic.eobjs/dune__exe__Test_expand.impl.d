@@ -1,0 +1,1 @@
+test/test_expand.ml: Alcotest Array Ast Expand Hashtbl Interp List Minic Parexec Printf Privatize QCheck QCheck_alcotest Runtimepriv String Typecheck

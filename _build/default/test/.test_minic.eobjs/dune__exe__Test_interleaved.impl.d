@@ -1,0 +1,1 @@
+test/test_interleaved.ml: Alcotest Ast Expand Harness Interp List Minic Parexec Printf Privatize Typecheck

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Int64 Interp List Minic Printf QCheck QCheck_alcotest Typecheck

@@ -1,0 +1,1 @@
+test/test_memory.ml: Alcotest Int64 Interp QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Array Ast Hashtbl Lexer List Loc Minic Option Parser Pretty Printf QCheck QCheck_alcotest String Typecheck Types Visit

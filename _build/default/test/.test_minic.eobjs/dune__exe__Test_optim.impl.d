@@ -1,0 +1,1 @@
+test/test_optim.ml: Alcotest Alias Ast Interp List Minic Optim Option String Typecheck Visit

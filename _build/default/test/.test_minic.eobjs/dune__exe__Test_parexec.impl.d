@@ -1,0 +1,1 @@
+test/test_parexec.ml: Alcotest Array Ast Expand Interp List Minic Parexec Printf Privatize Typecheck

@@ -1,0 +1,1 @@
+test/test_pretty.ml: Alcotest Ast List Minic Parser Pretty Printf Typecheck Types

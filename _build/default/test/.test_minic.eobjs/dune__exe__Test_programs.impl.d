@@ -1,0 +1,1 @@
+test/test_programs.ml: Alcotest Array Ast Expand Filename Interp List Minic Parexec Pretty Printf Privatize Sys Typecheck

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Ast Depgraph Expand Interp List Minic Parexec Printf Privatize Typecheck Workloads

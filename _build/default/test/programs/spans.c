@@ -1,0 +1,32 @@
+// The ambiguous-allocation pattern of the paper's Figure 3: the span
+// shadow is the only way redirection can find the copy stride.
+int *buffer;
+int results[20];
+
+void prepare(int big)
+{
+  if (big) buffer = (int *)malloc(256);
+  else buffer = (int *)malloc(128);
+}
+
+int main(void)
+{
+  prepare(1);
+  int it;
+#pragma parallel
+  for (it = 0; it < 20; it++) {
+    int k;
+    int n = 8 + it % 24;
+    for (k = 0; k < n; k++) buffer[k] = it * k;
+    int best = 0;
+    for (k = 0; k < n; k++)
+      if (buffer[k] > best) best = buffer[k];
+    results[it] = best;
+  }
+  int s = 0;
+  int i;
+  for (i = 0; i < 20; i++) s += results[i];
+  printf("%d\n", s);
+  free(buffer);
+  return 0;
+}

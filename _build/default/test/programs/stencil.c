@@ -1,0 +1,24 @@
+// 1-D stencil relaxation: the temp row is reused by every sweep
+// iteration and privatizes cleanly.
+double field[512];
+double temp[512];
+double total;
+
+int main(void)
+{
+  int i;
+  for (i = 0; i < 512; i++) field[i] = 0.001 * (i % 97);
+  int sweep;
+#pragma parallel
+  for (sweep = 0; sweep < 40; sweep++) {
+    int j;
+    for (j = 1; j < 511; j++)
+      temp[j] = 0.25 * field[j - 1] + 0.5 * field[j] + 0.25 * field[j + 1];
+    double m = 0.0;
+    for (j = 1; j < 511; j++)
+      if (temp[j] > m) m = temp[j];
+    total = total + m;
+  }
+  printf("%.6f\n", total);
+  return 0;
+}

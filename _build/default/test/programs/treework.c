@@ -1,0 +1,51 @@
+// Per-iteration binary search tree built through a global root:
+// dynamic recursive structure, rebuilt (hence privatizable) each task.
+struct tnode {
+  int key;
+  struct tnode *left;
+  struct tnode *right;
+};
+struct tnode *root;
+long answer;
+
+void insert(int key)
+{
+  struct tnode *n = (struct tnode *)malloc(sizeof(struct tnode));
+  n->key = key;
+  n->left = 0;
+  n->right = 0;
+  if (root == 0) { root = n; return; }
+  struct tnode *cur = root;
+  while (1) {
+    if (key < cur->key) {
+      if (cur->left == 0) { cur->left = n; return; }
+      cur = cur->left;
+    } else {
+      if (cur->right == 0) { cur->right = n; return; }
+      cur = cur->right;
+    }
+  }
+}
+
+int sum_free(struct tnode *t)
+{
+  if (t == 0) return 0;
+  int s = t->key + sum_free(t->left) + sum_free(t->right);
+  free(t);
+  return s;
+}
+
+int main(void)
+{
+  int task;
+#pragma parallel
+  for (task = 0; task < 48; task++) {
+    root = 0;
+    int j;
+    for (j = 0; j < 24; j++)
+      insert((task * 31 + j * j * 7) % 100);
+    answer = answer + sum_free(root) % 1009;
+  }
+  printf("answer %d\n", (int)answer);
+  return 0;
+}

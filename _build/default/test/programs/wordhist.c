@@ -1,0 +1,34 @@
+// Histogram over text chunks: the per-chunk counting table is the
+// contended structure; the global histogram merge is ordered.
+char text[8192];
+int local_counts[64];
+int histogram[64];
+
+void count_chunk(int base, int len)
+{
+  int i;
+  for (i = 0; i < 64; i++) local_counts[i] = 0;
+  for (i = 0; i < len; i++) {
+    int c = text[base + i] & 63;
+    local_counts[c] = local_counts[c] + 1;
+  }
+}
+
+int main(void)
+{
+  int i;
+  srand(77);
+  for (i = 0; i < 8192; i++) text[i] = rand() % 120;
+  int chunk;
+#pragma parallel
+  for (chunk = 0; chunk < 32; chunk++) {
+    count_chunk(chunk * 256, 256);
+    int k;
+    for (k = 0; k < 64; k++)
+      histogram[k] = histogram[k] + local_counts[k];
+  }
+  int cs = 0;
+  for (i = 0; i < 64; i++) cs = cs * 31 % 1000003 + histogram[i];
+  printf("hist %d\n", cs);
+  return 0;
+}

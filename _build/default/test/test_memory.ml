@@ -1,0 +1,127 @@
+(* Unit tests for the interpreter's flat memory: allocator behaviour,
+   fixed-width accessors, bounds checking, peak accounting, and a
+   qcheck law relating stores and loads. *)
+
+let alloc_tests =
+  [
+    Alcotest.test_case "distinct allocations don't overlap" `Quick (fun () ->
+        let m = Interp.Memory.create () in
+        let a = Interp.Memory.alloc m 100 in
+        let b = Interp.Memory.alloc m 100 in
+        Alcotest.(check bool) "disjoint" true (abs (a - b) >= 100));
+    Alcotest.test_case "free then alloc reuses the bucket" `Quick (fun () ->
+        let m = Interp.Memory.create () in
+        let a = Interp.Memory.alloc m 64 in
+        Interp.Memory.free m a;
+        let b = Interp.Memory.alloc m 64 in
+        Alcotest.(check int) "same base" a b);
+    Alcotest.test_case "reused block is zeroed" `Quick (fun () ->
+        let m = Interp.Memory.create () in
+        let a = Interp.Memory.alloc m 16 in
+        Interp.Memory.store m a 8 0x1122334455667788L;
+        Interp.Memory.free m a;
+        let b = Interp.Memory.alloc m 16 in
+        Alcotest.(check int64) "zeroed" 0L (Interp.Memory.load m b 8));
+    Alcotest.test_case "block_size" `Quick (fun () ->
+        let m = Interp.Memory.create () in
+        let a = Interp.Memory.alloc m 100 in
+        Alcotest.(check int) "size kept" 100 (Interp.Memory.block_size m a));
+    Alcotest.test_case "free of null is a no-op" `Quick (fun () ->
+        let m = Interp.Memory.create () in
+        Interp.Memory.free m 0);
+    Alcotest.test_case "peak tracks live bytes" `Quick (fun () ->
+        let m = Interp.Memory.create () in
+        let a = Interp.Memory.alloc m 1000 in
+        let peak1 = Interp.Memory.peak_bytes m in
+        Interp.Memory.free m a;
+        let b = Interp.Memory.alloc m 1000 in
+        Interp.Memory.free m b;
+        Alcotest.(check int) "no growth on reuse" peak1
+          (Interp.Memory.peak_bytes m);
+        Alcotest.(check bool) "live below peak" true
+          (Interp.Memory.live_bytes m < peak1));
+    Alcotest.test_case "untracked allocation skips accounting" `Quick
+      (fun () ->
+        let m = Interp.Memory.create () in
+        let live0 = Interp.Memory.live_bytes m in
+        ignore (Interp.Memory.alloc ~track:false m 4096);
+        Alcotest.(check int) "live unchanged" live0
+          (Interp.Memory.live_bytes m));
+    Alcotest.test_case "low addresses fault" `Quick (fun () ->
+        let m = Interp.Memory.create () in
+        match Interp.Memory.load m 4 4 with
+        | exception Interp.Memory.Fault _ -> ()
+        | _ -> Alcotest.fail "expected a fault");
+    Alcotest.test_case "past-the-end faults" `Quick (fun () ->
+        let m = Interp.Memory.create () in
+        let a = Interp.Memory.alloc m 8 in
+        match Interp.Memory.load m (a + 1_000_000) 4 with
+        | exception Interp.Memory.Fault _ -> ()
+        | _ -> Alcotest.fail "expected a fault");
+  ]
+
+let accessor_tests =
+  [
+    Alcotest.test_case "sign extension per width" `Quick (fun () ->
+        let m = Interp.Memory.create () in
+        let a = Interp.Memory.alloc m 8 in
+        Interp.Memory.store m a 1 0xFFL;
+        Alcotest.(check int64) "byte -1" (-1L) (Interp.Memory.load m a 1);
+        Interp.Memory.store m a 2 0x8000L;
+        Alcotest.(check int64) "short min" (-32768L) (Interp.Memory.load m a 2);
+        Interp.Memory.store m a 4 0xFFFFFFFFL;
+        Alcotest.(check int64) "int -1" (-1L) (Interp.Memory.load m a 4));
+    Alcotest.test_case "little-endian layout" `Quick (fun () ->
+        let m = Interp.Memory.create () in
+        let a = Interp.Memory.alloc m 8 in
+        Interp.Memory.store m a 4 0x04030201L;
+        Alcotest.(check int64) "first byte" 1L (Interp.Memory.load m a 1);
+        Alcotest.(check int64) "fourth byte" 4L (Interp.Memory.load m (a + 3) 1));
+    Alcotest.test_case "float roundtrip both widths" `Quick (fun () ->
+        let m = Interp.Memory.create () in
+        let a = Interp.Memory.alloc m 16 in
+        Interp.Memory.store_float m a 8 3.14159265358979;
+        Alcotest.(check (float 0.0)) "double exact" 3.14159265358979
+          (Interp.Memory.load_float m a 8);
+        Interp.Memory.store_float m (a + 8) 4 1.5;
+        Alcotest.(check (float 0.0)) "float32 exact for 1.5" 1.5
+          (Interp.Memory.load_float m (a + 8) 4));
+    Alcotest.test_case "cstring roundtrip" `Quick (fun () ->
+        let m = Interp.Memory.create () in
+        let a = Interp.Memory.write_cstring m "hello world" in
+        Alcotest.(check string) "read back" "hello world"
+          (Interp.Memory.read_cstring m a));
+    Alcotest.test_case "blit and fill" `Quick (fun () ->
+        let m = Interp.Memory.create () in
+        let a = Interp.Memory.alloc m 16 in
+        let b = Interp.Memory.alloc m 16 in
+        Interp.Memory.fill m ~dst:a ~len:16 0xAB;
+        Interp.Memory.blit m ~src:a ~dst:b ~len:16;
+        Alcotest.(check int64) "copied byte"
+          (Interp.Memory.load m a 1)
+          (Interp.Memory.load m b 1));
+  ]
+
+(* store/load roundtrip law over random values and widths *)
+let roundtrip_law =
+  QCheck.Test.make ~count:300 ~name:"store/load roundtrip with truncation"
+    QCheck.(pair int64 (oneofl [ 1; 2; 4; 8 ]))
+    (fun (v, width) ->
+      let m = Interp.Memory.create () in
+      let a = Interp.Memory.alloc m 8 in
+      Interp.Memory.store m a width v;
+      let back = Interp.Memory.load m a width in
+      let bits = width * 8 in
+      let expected =
+        if bits = 64 then v
+        else Int64.shift_right (Int64.shift_left v (64 - bits)) (64 - bits)
+      in
+      Int64.equal back expected)
+
+let () =
+  Alcotest.run "memory"
+    [
+      ("allocator", alloc_tests);
+      ("accessors", accessor_tests);
+      ("laws", [ QCheck_alcotest.to_alcotest roundtrip_law ]);
+    ]

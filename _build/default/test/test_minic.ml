@@ -1,0 +1,328 @@
+(* Tests for the MiniC frontend: lexer, parser, type checker,
+   pretty-printer and traversal utilities. *)
+
+open Minic
+
+let check_parses name src =
+  Alcotest.test_case name `Quick (fun () ->
+      let p = Typecheck.parse_and_check ~file:name src in
+      Alcotest.(check bool) "has globals" true (p.Ast.globals <> []))
+
+let check_rejects name src =
+  Alcotest.test_case name `Quick (fun () ->
+      match Typecheck.parse_and_check ~file:name src with
+      | exception Loc.Error _ -> ()
+      | _ -> Alcotest.fail "expected a frontend error")
+
+let simple_program =
+  {|
+struct node {
+  int value;
+  struct node *next;
+};
+
+int total;
+int table[16];
+
+int sum_list(struct node *head)
+{
+  int s = 0;
+  while (head != 0) {
+    s += head->value;
+    head = head->next;
+  }
+  return s;
+}
+
+int main(void)
+{
+  struct node *n = (struct node *)malloc(sizeof(struct node));
+  n->value = 41;
+  n->next = 0;
+  total = sum_list(n) + 1;
+  printf("%d\n", total);
+  free(n);
+  return 0;
+}
+|}
+
+let parse_tests =
+  [
+    check_parses "simple_program" simple_program;
+    check_parses "for_loop" "int main(void){int i; int s=0; for(i=0;i<10;i++) s+=i; return s;}";
+    check_parses "pragma_parallel"
+      "int main(void){int i;\n#pragma parallel\nfor(i=0;i<4;i++){int x; x=i;} return 0;}";
+    check_parses "nested_ptrs" "int main(void){int **pp; int *p; int x; p=&x; pp=&p; **pp=3; return x;}";
+    check_parses "ternary" "int main(void){int a=1; int b; b = a > 0 ? 10 : 20; return b;}";
+    check_parses "compound_ops"
+      "int main(void){int x=8; x<<=1; x>>=2; x|=1; x&=7; x^=2; x%=5; return x;}";
+    check_parses "sizeof_forms"
+      "int main(void){long a; int x; a = sizeof(int) + sizeof x + sizeof(struct s *); return 0;} struct s { int f; };";
+    check_parses "string_and_char"
+      {|int main(void){ printf("hi %c\n", 'a'); return 0; }|};
+    check_parses "casts" "int main(void){double d=1.5; int i=(int)d; short *p=(short *)0; return i;}";
+    check_parses "multi_decl" "int a, b, *c; int main(void){ a=1; b=2; c=&a; return *c + b; }";
+    check_rejects "unknown_var" "int main(void){ x = 1; return 0; }";
+    check_rejects "unknown_fun" "int main(void){ frobnicate(); return 0; }";
+    check_rejects "bad_field" "struct s { int a; }; int main(void){ struct s v; v.b = 1; return 0; }";
+    check_rejects "deref_int" "int main(void){ int x; *x = 1; return 0; }";
+    check_rejects "call_in_loop_cond" "int main(void){ while (rand()) {} return 0; }";
+    check_rejects "void_value" "int main(void){ int x; x = free(0); return 0; }";
+    check_rejects "shadowing" "int main(void){ int x; { int x; } return 0; }";
+    check_rejects "arity" "int main(void){ putchar(1, 2); return 0; }";
+  ]
+
+(* Every Lval carries a distinct access id after checking. *)
+let unique_aids () =
+  let p = Typecheck.parse_and_check simple_program in
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun (a : Visit.access) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "aid %d assigned" a.acc_aid)
+            true (a.acc_aid >= 0);
+          if Hashtbl.mem seen a.acc_aid then
+            Alcotest.failf "duplicate access id %d" a.acc_aid;
+          Hashtbl.replace seen a.acc_aid ())
+        (Visit.accesses_of_fun f))
+    (Ast.functions p)
+
+(* Pretty-printing then reparsing yields a program that pretty-prints
+   identically (fixpoint round-trip). *)
+let roundtrip src () =
+  let p1 = Typecheck.parse_and_check src in
+  let printed1 = Pretty.program_to_string p1 in
+  let p2 = Typecheck.parse_and_check printed1 in
+  let printed2 = Pretty.program_to_string p2 in
+  Alcotest.(check string) "pretty fixpoint" printed1 printed2
+
+let pointer_index_normalized () =
+  let p =
+    Typecheck.parse_and_check
+      "int main(void){int *p; int x; p = &x; p[0] = 5; return p[0];}"
+  in
+  let main = Option.get (Ast.find_fun p "main") in
+  (* After normalization no Index remains with a pointer base: every
+     Index base must have array type. The program has no arrays, so no
+     Index nodes at all. *)
+  let has_index = ref false in
+  List.iter
+    (fun (a : Visit.access) ->
+      match a.acc_lval with Index _ -> has_index := true | _ -> ())
+    (Visit.accesses_of_fun main);
+  Alcotest.(check bool) "no pointer-based Index nodes" false !has_index
+
+let struct_assign_exploded () =
+  let p =
+    Typecheck.parse_and_check
+      "struct pair { int a; int b; }; int main(void){struct pair x; struct \
+       pair y; x.a=1; x.b=2; y = x; return y.a + y.b;}"
+  in
+  let main = Option.get (Ast.find_fun p "main") in
+  let stores =
+    List.filter (fun (a : Visit.access) -> a.acc_kind = Visit.Store)
+      (Visit.accesses_of_fun main)
+  in
+  (* x.a=1, x.b=2, then y=x explodes to y.a=x.a and y.b=x.b: 4 stores. *)
+  Alcotest.(check int) "stores" 4 (List.length stores)
+
+let sizeof_array_not_decayed () =
+  let p =
+    Typecheck.parse_and_check
+      "int main(void){int a[10]; long n; n = sizeof a; return (int)n;}"
+  in
+  let main = Option.get (Ast.find_fun p "main") in
+  let found = ref None in
+  let rec scan (s : Ast.stmt) =
+    match s.skind with
+    | Sassign (_, Var "n", e) -> found := Some e
+    | Sseq l -> List.iter scan l
+    | _ -> ()
+  in
+  scan main.fbody;
+  match !found with
+  | Some (SizeofType (Types.Tarray (Types.Tint Types.IInt, 10))) -> ()
+  | Some e -> Alcotest.failf "unexpected rhs: %s" (Ast.show_exp e)
+  | None -> Alcotest.fail "assignment to n not found"
+
+let type_layout_tests =
+  let comps : Types.composite_env = Hashtbl.create 4 in
+  Hashtbl.replace comps "padded"
+    {
+      Types.cname = "padded";
+      cfields = [ ("c", Types.Tint IChar); ("x", Types.Tint IInt); ("d", Types.Tint IChar) ];
+    };
+  Hashtbl.replace comps "list"
+    {
+      Types.cname = "list";
+      cfields = [ ("v", Types.Tint IInt); ("next", Types.Tptr (Types.Tstruct "list")) ];
+    };
+  let sz t = Types.sizeof comps Loc.dummy t in
+  [
+    Alcotest.test_case "primitive sizes" `Quick (fun () ->
+        Alcotest.(check int) "char" 1 (sz (Tint IChar));
+        Alcotest.(check int) "short" 2 (sz (Tint IShort));
+        Alcotest.(check int) "int" 4 (sz (Tint IInt));
+        Alcotest.(check int) "long" 8 (sz (Tint ILong));
+        Alcotest.(check int) "float" 4 (sz (Tfloat FFloat));
+        Alcotest.(check int) "double" 8 (sz (Tfloat FDouble));
+        Alcotest.(check int) "ptr" 8 (sz (Tptr Tvoid)));
+    Alcotest.test_case "struct padding" `Quick (fun () ->
+        (* char pad3 int char pad3 -> 12 bytes, align 4 *)
+        Alcotest.(check int) "padded size" 12 (sz (Tstruct "padded"));
+        let off_x, _ = Types.field_offset comps Loc.dummy "padded" "x" in
+        Alcotest.(check int) "offset of x" 4 off_x;
+        let off_d, _ = Types.field_offset comps Loc.dummy "padded" "d" in
+        Alcotest.(check int) "offset of d" 8 off_d);
+    Alcotest.test_case "recursive struct" `Quick (fun () ->
+        (* int + pad4 + ptr8 = 16 *)
+        Alcotest.(check int) "list size" 16 (sz (Tstruct "list"));
+        let off, t = Types.field_offset comps Loc.dummy "list" "next" in
+        Alcotest.(check int) "offset of next" 8 off;
+        Alcotest.(check bool) "next is ptr" true (Types.is_pointer t));
+    Alcotest.test_case "array size" `Quick (fun () ->
+        Alcotest.(check int) "int[10]" 40 (sz (Tarray (Tint IInt, 10)));
+        Alcotest.(check int) "struct[3]" 36 (sz (Tarray (Tstruct "padded", 3))));
+  ]
+
+(* qcheck: random well-formed expressions round-trip through
+   print-then-parse up to alpha-renaming of access ids. *)
+let gen_pure_exp : Ast.exp QCheck.Gen.t =
+  let open QCheck.Gen in
+  let var = oneofl [ "a"; "b"; "c" ] >|= fun v -> Ast.Lval (0, Ast.Var v) in
+  (* Non-negative: [-44] prints as a negation, which reparses as
+     [Unop (Neg, 44)] — a legitimate printer asymmetry. *)
+  let const = map (fun n -> Ast.cint n) (int_range 0 100) in
+  fix
+    (fun self n ->
+      if n = 0 then oneof [ var; const ]
+      else
+        frequency
+          [
+            (2, var);
+            (2, const);
+            ( 3,
+              let* op =
+                oneofl
+                  Ast.[ Add; Sub; Mul; Div; Lt; Gt; Eq; Ne; Band; Bor; Bxor ]
+              in
+              let* a = self (n / 2) in
+              let* b = self (n / 2) in
+              return (Ast.Binop (op, a, b)) );
+            (1, self (n / 2) >|= fun a -> Ast.Unop (Ast.Neg, a));
+            (1, self (n / 2) >|= fun a -> Ast.Unop (Ast.Bitnot, a));
+            ( 1,
+              let* c = self (n / 3) in
+              let* a = self (n / 3) in
+              let* b = self (n / 3) in
+              return (Ast.Cond (c, a, b)) );
+          ])
+    5
+
+(* Strip access ids so structural equality ignores numbering. *)
+let rec strip_e (e : Ast.exp) : Ast.exp =
+  match e with
+  | Lval (_, lv) -> Lval (0, strip_l lv)
+  | Addr lv -> Addr (strip_l lv)
+  | Unop (op, a) -> Unop (op, strip_e a)
+  | Binop (op, a, b) -> Binop (op, strip_e a, strip_e b)
+  | Cast (t, a) -> Cast (t, strip_e a)
+  | Call (f, args) -> Call (f, List.map strip_e args)
+  | Cond (c, a, b) -> Cond (strip_e c, strip_e a, strip_e b)
+  | Const _ | SizeofType _ -> e
+  | SizeofExp a -> SizeofExp (strip_e a)
+
+and strip_l (lv : Ast.lval) : Ast.lval =
+  match lv with
+  | Var _ -> lv
+  | Deref e -> Deref (strip_e e)
+  | Index (b, i) -> Index (strip_l b, strip_e i)
+  | Field (b, f) -> Field (strip_l b, f)
+
+let exp_roundtrip_prop =
+  QCheck.Test.make ~count:500 ~name:"exp print/parse roundtrip"
+    (QCheck.make gen_pure_exp ~print:(fun e -> Pretty.exp_text e))
+    (fun e ->
+      let printed = Pretty.exp_text e in
+      let reparsed = Parser.parse_exp_string printed in
+      Ast.equal_exp (strip_e e) (strip_e reparsed))
+
+let lexer_tests =
+  [
+    Alcotest.test_case "punct longest match" `Quick (fun () ->
+        let toks = Lexer.tokenize "a <<= b >> c >= d" in
+        let ps =
+          Array.to_list toks
+          |> List.filter_map (fun (t : Lexer.t) ->
+                 match t.tok with Lexer.PUNCT p -> Some p | _ -> None)
+        in
+        Alcotest.(check (list string)) "ops" [ "<<="; ">>"; ">=" ] ps);
+    Alcotest.test_case "literals" `Quick (fun () ->
+        let toks = Lexer.tokenize "0x10 42L 3.5 1e3 2.5f 'x' \"s\\n\"" in
+        let lits =
+          Array.to_list toks
+          |> List.filter_map (fun (t : Lexer.t) ->
+                 match t.tok with
+                 | Lexer.INTLIT (v, k) ->
+                   Some (Printf.sprintf "i%Ld:%d" v (Types.ikind_size k))
+                 | Lexer.FLOATLIT (f, k) ->
+                   Some (Printf.sprintf "f%g:%d" f (Types.fkind_size k))
+                 | Lexer.STRLIT s -> Some (Printf.sprintf "s%s" (String.escaped s))
+                 | _ -> None)
+        in
+        Alcotest.(check (list string))
+          "literals"
+          [ "i16:4"; "i42:8"; "f3.5:8"; "f1000:8"; "f2.5:4"; "i120:1"; "ss\\n" ]
+          lits);
+    Alcotest.test_case "comments and pragma" `Quick (fun () ->
+        let toks =
+          Lexer.tokenize "// line\nx /* multi\nline */ y\n#pragma parallel\nz"
+        in
+        let ids =
+          Array.to_list toks
+          |> List.filter_map (fun (t : Lexer.t) ->
+                 match t.tok with
+                 | Lexer.IDENT s -> Some s
+                 | Lexer.PRAGMA s -> Some ("#" ^ s)
+                 | _ -> None)
+        in
+        Alcotest.(check (list string)) "tokens" [ "x"; "y"; "#pragma parallel"; "z" ] ids);
+    Alcotest.test_case "line numbers" `Quick (fun () ->
+        let toks = Lexer.tokenize "a\nb\n  c" in
+        let lines =
+          Array.to_list toks
+          |> List.filter_map (fun (t : Lexer.t) ->
+                 match t.tok with Lexer.IDENT _ -> Some t.loc.Loc.line | _ -> None)
+        in
+        Alcotest.(check (list int)) "lines" [ 1; 2; 3 ] lines);
+  ]
+
+let misc_tests =
+  [
+    Alcotest.test_case "unique access ids" `Quick unique_aids;
+    Alcotest.test_case "roundtrip simple" `Quick (roundtrip simple_program);
+    Alcotest.test_case "roundtrip loops" `Quick
+      (roundtrip
+         "int g[4]; int main(void){int i; int s=0;\n#pragma parallel\nfor(i=0;i<4;i++){g[i]=i*i; s+=g[i];} while(s>0){s--;} return s;}");
+    Alcotest.test_case "pointer index normalized" `Quick pointer_index_normalized;
+    Alcotest.test_case "struct assignment exploded" `Quick struct_assign_exploded;
+    Alcotest.test_case "sizeof array not decayed" `Quick sizeof_array_not_decayed;
+    Alcotest.test_case "parallel pragma recorded" `Quick (fun () ->
+        let p =
+          Typecheck.parse_and_check
+            "int main(void){int i;\n#pragma parallel\nfor(i=0;i<4;i++){} while(1){break;} return 0;}"
+        in
+        Alcotest.(check int) "one candidate" 1 (List.length p.Ast.parallel_loops));
+    QCheck_alcotest.to_alcotest exp_roundtrip_prop;
+  ]
+
+let () =
+  Alcotest.run "minic"
+    [
+      ("lexer", lexer_tests);
+      ("types", type_layout_tests);
+      ("parser", parse_tests);
+      ("normalize", misc_tests);
+    ]

@@ -1,0 +1,202 @@
+(* Unit tests for the §3.4 optimization pass (span DSE, constant and
+   copy propagation) and the alias analysis that drives selective
+   promotion. *)
+
+open Minic
+
+let check_prog src = Typecheck.parse_and_check ~file:"test" src
+
+let is_span x =
+  String.length x >= 7 && String.sub x 0 7 = "__span_"
+
+(* count assignments to variables matching a predicate *)
+let count_stores prog pred =
+  List.fold_left
+    (fun acc (f : Ast.fundef) ->
+      Visit.fold_stmt_accesses
+        (fun acc (a : Visit.access) ->
+          match (a.Visit.acc_kind, a.Visit.acc_lval) with
+          | Visit.Store, Ast.Var x when pred x -> acc + 1
+          | _ -> acc)
+        acc f.Ast.fbody)
+    0 (Ast.functions prog)
+
+let count_loads prog pred =
+  List.fold_left
+    (fun acc (f : Ast.fundef) ->
+      Visit.fold_stmt_accesses
+        (fun acc (a : Visit.access) ->
+          match (a.Visit.acc_kind, a.Visit.acc_lval) with
+          | Visit.Load, Ast.Var x when pred x -> acc + 1
+          | _ -> acc)
+        acc f.Ast.fbody)
+    0 (Ast.functions prog)
+
+let self_assign_removed () =
+  let p =
+    check_prog
+      "int __span_p; int main(void){ __span_p = 8; __span_p = __span_p; return __span_p; }"
+  in
+  let stats = Optim.Spanopt.optimize p ~is_candidate:is_span in
+  Alcotest.(check bool) "removed a self assign" true
+    (stats.Optim.Spanopt.self_assigns_removed >= 1)
+
+let dead_span_removed () =
+  (* __span_q is stored but never loaded anywhere *)
+  let p =
+    check_prog
+      "long __span_q; int main(void){ __span_q = 42L; __span_q = 7L; return 0; }"
+  in
+  ignore (Optim.Spanopt.optimize p ~is_candidate:is_span);
+  Alcotest.(check int) "dead stores gone" 0 (count_stores p is_span)
+
+let constant_span_propagated () =
+  let p =
+    check_prog
+      {|long __span_p;
+        int use(long v) { return (int)v; }
+        int main(void){ __span_p = 16L; int a = use(__span_p); __span_p = 16L; int b = use(__span_p); return a + b; }|}
+  in
+  let _, out0 = Interp.Machine.run_program p in
+  let stats = Optim.Spanopt.optimize p ~is_candidate:is_span in
+  Alcotest.(check bool) "loads propagated" true
+    (stats.Optim.Spanopt.loads_propagated >= 2);
+  Alcotest.(check int) "span loads gone" 0 (count_loads p is_span);
+  let _, out1 = Interp.Machine.run_program p in
+  Alcotest.(check string) "behaviour preserved" out0 out1
+
+let conflicting_spans_kept () =
+  (* two different constants: no propagation, loads must survive *)
+  let p =
+    check_prog
+      {|long __span_p;
+        int main(void){ int c = 1; if (c) __span_p = 8L; else __span_p = 16L; return (int)__span_p; }|}
+  in
+  ignore (Optim.Spanopt.optimize p ~is_candidate:is_span);
+  Alcotest.(check bool) "load kept" true (count_loads p is_span >= 1)
+
+let propagates_through_scalars () =
+  (* span = sizeof(int) * m with m = 64: resolves via the ordinary
+     scalar m, like GCC's constant propagation *)
+  let p =
+    check_prog
+      {|long __span_p;
+        int main(void){ int m = 64; __span_p = (long)(sizeof(int) * m); return (int)__span_p; }|}
+  in
+  let code0, _ = Interp.Machine.run_program p in
+  ignore (Optim.Spanopt.optimize p ~is_candidate:is_span);
+  Alcotest.(check int) "span load propagated" 0 (count_loads p is_span);
+  let code1, _ = Interp.Machine.run_program p in
+  Alcotest.(check int) "same result" code0 code1
+
+let address_taken_blocks () =
+  let p =
+    check_prog
+      {|long __span_p;
+        void touch(long *x) { *x = 9L; }
+        int main(void){ __span_p = 8L; touch(&__span_p); return (int)__span_p; }|}
+  in
+  let code0, _ = Interp.Machine.run_program p in
+  ignore (Optim.Spanopt.optimize p ~is_candidate:is_span);
+  Alcotest.(check bool) "load survives" true (count_loads p is_span >= 1);
+  let code1, _ = Interp.Machine.run_program p in
+  Alcotest.(check int) "semantics kept (9)" code0 code1
+
+(* --- alias analysis ------------------------------------------------ *)
+
+let alias_prog src = check_prog src
+
+let targets_of prog fn_name exp_src =
+  let r = Alias.Andersen.analyze prog in
+  let f = Option.get (Ast.find_fun prog fn_name) in
+  let e = Minic.Parser.parse_exp_string exp_src in
+  Alias.Andersen.targets_of_exp r prog f e
+
+let alias_direct () =
+  let p = alias_prog "int g; int *p; int main(void){ p = &g; return *p; }" in
+  let t = targets_of p "main" "p" in
+  Alcotest.(check bool) "p -> g" true
+    (Alias.Andersen.LocSet.mem (Alias.Andersen.LVar "g") t)
+
+let alias_copy_chain () =
+  let p =
+    alias_prog
+      "int g; int h; int *p; int *q; int *r2; int main(void){ p = &g; q = p; r2 = q; *r2 = 1; return g; }"
+  in
+  let t = targets_of p "main" "r2" in
+  Alcotest.(check bool) "r2 -> g through copies" true
+    (Alias.Andersen.LocSet.mem (Alias.Andersen.LVar "g") t);
+  Alcotest.(check bool) "r2 not -> h" false
+    (Alias.Andersen.LocSet.mem (Alias.Andersen.LVar "h") t)
+
+let alias_through_call () =
+  let p =
+    alias_prog
+      {|int g;
+        int *id(int *x) { return x; }
+        int main(void){ int *p = id(&g); *p = 3; return g; }|}
+  in
+  let t = targets_of p "main" "p" in
+  Alcotest.(check bool) "p -> g through the call" true
+    (Alias.Andersen.LocSet.mem (Alias.Andersen.LVar "g") t)
+
+let alias_heap_sites () =
+  let p =
+    alias_prog
+      {|int *a; int *b;
+        int main(void){ a = (int *)malloc(8); b = (int *)malloc(8); return 0; }|}
+  in
+  let ta = targets_of p "main" "a" and tb = targets_of p "main" "b" in
+  Alcotest.(check bool) "distinct allocation sites" true
+    (Alias.Andersen.LocSet.is_empty (Alias.Andersen.LocSet.inter ta tb));
+  Alcotest.(check bool) "a has an alloc target" true
+    (Alias.Andersen.LocSet.exists
+       (function Alias.Andersen.LAlloc _ -> true | _ -> false)
+       ta)
+
+let alias_field_insensitive_store () =
+  let p =
+    alias_prog
+      {|struct cell { int *ptr; };
+        int g;
+        struct cell c;
+        int main(void){ c.ptr = &g; int *q = c.ptr; *q = 5; return g; }|}
+  in
+  let t = targets_of p "main" "q" in
+  Alcotest.(check bool) "q -> g through the field" true
+    (Alias.Andersen.LocSet.mem (Alias.Andersen.LVar "g") t)
+
+let alias_branch_union () =
+  let p =
+    alias_prog
+      "int g; int h; int main(void){ int c = 1; int *p; if (c) p = &g; else p = &h; *p = 2; return g + h; }"
+  in
+  let t = targets_of p "main" "p" in
+  Alcotest.(check bool) "p -> g" true
+    (Alias.Andersen.LocSet.mem (Alias.Andersen.LVar "g") t);
+  Alcotest.(check bool) "p -> h" true
+    (Alias.Andersen.LocSet.mem (Alias.Andersen.LVar "h") t)
+
+let () =
+  Alcotest.run "optim-alias"
+    [
+      ( "spanopt",
+        [
+          Alcotest.test_case "self assign removed" `Quick self_assign_removed;
+          Alcotest.test_case "dead span removed" `Quick dead_span_removed;
+          Alcotest.test_case "constant propagated" `Quick
+            constant_span_propagated;
+          Alcotest.test_case "conflicting kept" `Quick conflicting_spans_kept;
+          Alcotest.test_case "through scalars" `Quick propagates_through_scalars;
+          Alcotest.test_case "address taken blocks" `Quick address_taken_blocks;
+        ] );
+      ( "andersen",
+        [
+          Alcotest.test_case "direct" `Quick alias_direct;
+          Alcotest.test_case "copy chain" `Quick alias_copy_chain;
+          Alcotest.test_case "through call" `Quick alias_through_call;
+          Alcotest.test_case "heap sites" `Quick alias_heap_sites;
+          Alcotest.test_case "field store" `Quick alias_field_insensitive_store;
+          Alcotest.test_case "branch union" `Quick alias_branch_union;
+        ] );
+    ]

@@ -1,0 +1,214 @@
+(* Tests for the parallel-execution simulator: the cache model, the
+   DOALL/DOACROSS schedulers, the per-channel post/wait pipeline, the
+   bandwidth bound, and the GOMP overhead accounting. *)
+
+open Minic
+
+let analyze src =
+  let p = Typecheck.parse_and_check ~file:"test" src in
+  let lid = List.hd p.Ast.parallel_loops in
+  let r = Privatize.Analyze.analyze p lid in
+  (p, lid, r)
+
+let expand_and_spec src =
+  let p, lid, r = analyze src in
+  let res = Expand.Transform.expand p r in
+  (p, lid, res.Expand.Transform.transformed, Parexec.Sim.spec_of_analysis r)
+
+(* --- cache model ---------------------------------------------------- *)
+
+let cache_tests =
+  [
+    Alcotest.test_case "hit after miss" `Quick (fun () ->
+        let c = Parexec.Cache.create ~size_bytes:1024 ~assoc:2 ~line_bytes:64 in
+        Alcotest.(check bool) "first is miss" false
+          (Parexec.Cache.access c ~addr:0 ~size:4);
+        Alcotest.(check bool) "second is hit" true
+          (Parexec.Cache.access c ~addr:0 ~size:4);
+        Alcotest.(check bool) "same line hits" true
+          (Parexec.Cache.access c ~addr:60 ~size:4));
+    Alcotest.test_case "straddling access touches two lines" `Quick (fun () ->
+        let c = Parexec.Cache.create ~size_bytes:1024 ~assoc:2 ~line_bytes:64 in
+        ignore (Parexec.Cache.access c ~addr:60 ~size:8);
+        Alcotest.(check bool) "first line present" true
+          (Parexec.Cache.access c ~addr:0 ~size:4);
+        Alcotest.(check bool) "second line present" true
+          (Parexec.Cache.access c ~addr:64 ~size:4));
+    Alcotest.test_case "LRU eviction" `Quick (fun () ->
+        (* 2-way set: third distinct line mapping to the same set evicts
+           the least recently used *)
+        let c = Parexec.Cache.create ~size_bytes:256 ~assoc:2 ~line_bytes:64 in
+        (* set count = 256/64/2 = 2; lines 0, 2, 4 all map to set 0 *)
+        ignore (Parexec.Cache.access c ~addr:0 ~size:4);
+        ignore (Parexec.Cache.access c ~addr:128 ~size:4);
+        ignore (Parexec.Cache.access c ~addr:0 ~size:4);
+        (* now 0 is MRU; inserting 256 evicts 128 *)
+        ignore (Parexec.Cache.access c ~addr:256 ~size:4);
+        Alcotest.(check bool) "0 still cached" true
+          (Parexec.Cache.access c ~addr:0 ~size:4);
+        Alcotest.(check bool) "128 evicted" false
+          (Parexec.Cache.access c ~addr:128 ~size:4));
+    Alcotest.test_case "hit rate counters" `Quick (fun () ->
+        let c = Parexec.Cache.create ~size_bytes:1024 ~assoc:4 ~line_bytes:64 in
+        for _ = 1 to 3 do
+          ignore (Parexec.Cache.access c ~addr:0 ~size:4)
+        done;
+        Alcotest.(check bool) "rate in (0,1)" true
+          (Parexec.Cache.hit_rate c > 0.5 && Parexec.Cache.hit_rate c < 1.0);
+        Parexec.Cache.reset c;
+        Alcotest.(check (float 0.001)) "reset rate" 1.0 (Parexec.Cache.hit_rate c));
+  ]
+
+(* --- scheduling ----------------------------------------------------- *)
+
+let doall_src = {|
+int out[64];
+int work(int i){ int t = 0; int j; for (j = 0; j < 200; j++) t += i * j % 13; return t; }
+int main(void)
+{
+  int i;
+#pragma parallel
+  for (i = 0; i < 64; i++) out[i] = work(i);
+  int s = 0;
+  for (i = 0; i < 64; i++) s += out[i];
+  printf("%d\n", s);
+  return 0;
+}|}
+
+(* early ordered read + late ordered write on the SAME channel
+   serializes whole iterations *)
+let serial_src = {|
+int token;
+int out[32];
+int main(void)
+{
+  int i;
+#pragma parallel
+  for (i = 0; i < 32; i++) {
+    int t = token;
+    int j;
+    int acc = 0;
+    for (j = 0; j < 300; j++) acc += (t + i * j) % 7;
+    out[i] = acc;
+    token = token + acc % 3;
+  }
+  printf("%d %d\n", token, out[31]);
+  return 0;
+}|}
+
+(* two independent channels: early input cursor, late output cursor —
+   these pipeline *)
+let pipeline_src = {|
+int in_cur;
+int out_cur;
+int data[2048];
+int sink[2048];
+int main(void)
+{
+  int i;
+  for (i = 0; i < 2048; i++) data[i] = i * 7 % 97;
+#pragma parallel
+  for (i = 0; i < 64; i++) {
+    int base = in_cur;
+    in_cur = in_cur + 16;
+    int acc = 0;
+    int j;
+    for (j = 0; j < 400; j++) acc += data[(base + j) % 2048] * j % 11;
+    int ob = out_cur;
+    out_cur = out_cur + 4;
+    sink[ob % 2048] = acc;
+  }
+  printf("%d %d\n", in_cur, out_cur);
+  return 0;
+}|}
+
+let speedup src threads =
+  let p, lid, transformed, spec = expand_and_spec src in
+  let seq = Parexec.Sim.run_sequential p [ lid ] in
+  let pr = Parexec.Sim.run_parallel transformed [ spec ] ~threads in
+  Alcotest.(check string) "output" seq.Parexec.Sim.sq_output
+    pr.Parexec.Sim.pr_output;
+  float_of_int (List.assoc lid seq.Parexec.Sim.sq_loop)
+  /. float_of_int (List.assoc lid pr.Parexec.Sim.pr_loop)
+
+let scheduling_tests =
+  [
+    Alcotest.test_case "doall scales" `Quick (fun () ->
+        let s4 = speedup doall_src 4 in
+        Alcotest.(check bool) (Printf.sprintf "4 threads: %.2f" s4) true
+          (s4 > 3.0));
+    Alcotest.test_case "same-channel early read serializes" `Quick (fun () ->
+        let s8 = speedup serial_src 8 in
+        Alcotest.(check bool) (Printf.sprintf "8 threads: %.2f" s8) true
+          (s8 < 1.6));
+    Alcotest.test_case "independent channels pipeline" `Quick (fun () ->
+        let s8 = speedup pipeline_src 8 in
+        Alcotest.(check bool) (Printf.sprintf "8 threads: %.2f" s8) true
+          (s8 > 3.0));
+    Alcotest.test_case "doall static chunks balance" `Quick (fun () ->
+        let _, lid, transformed, spec = expand_and_spec doall_src in
+        ignore lid;
+        let pr = Parexec.Sim.run_parallel transformed [ spec ] ~threads:4 in
+        let busy = pr.Parexec.Sim.pr_busy in
+        let mx = Array.fold_left max 0 busy
+        and mn = Array.fold_left min max_int busy in
+        Alcotest.(check bool)
+          (Printf.sprintf "balanced busy %d..%d" mn mx)
+          true
+          (float_of_int mn > 0.5 *. float_of_int mx));
+    Alcotest.test_case "gomp overhead accounted" `Quick (fun () ->
+        let _, _, transformed, spec = expand_and_spec doall_src in
+        let pr = Parexec.Sim.run_parallel transformed [ spec ] ~threads:4 in
+        Alcotest.(check bool) "fork+barrier > 0" true
+          (pr.Parexec.Sim.pr_overhead
+          >= Interp.Cost.gomp_fork + (4 * Interp.Cost.gomp_barrier)));
+    Alcotest.test_case "iterations counted" `Quick (fun () ->
+        let _, lid, transformed, spec = expand_and_spec doall_src in
+        let pr = Parexec.Sim.run_parallel transformed [ spec ] ~threads:2 in
+        Alcotest.(check int) "64 iterations" 64
+          (List.assoc lid pr.Parexec.Sim.pr_iterations));
+    Alcotest.test_case "single thread near parity" `Quick (fun () ->
+        let s1 = speedup doall_src 1 in
+        Alcotest.(check bool) (Printf.sprintf "T=1: %.2f" s1) true
+          (s1 > 0.85 && s1 <= 1.01));
+  ]
+
+(* --- bandwidth bound ------------------------------------------------ *)
+
+let bandwidth_tests =
+  [
+    Alcotest.test_case "streaming loop hits the bandwidth wall" `Quick
+      (fun () ->
+        (* touch far more data than the LLC holds; scaling must stall *)
+        let src = {|
+double big_a[300000];
+double big_b[300000];
+int main(void)
+{
+  int i;
+  for (i = 0; i < 300000; i++) big_a[i] = i * 0.5;
+  int row;
+#pragma parallel
+  for (row = 0; row < 100; row++) {
+    int j;
+    for (j = 0; j < 3000; j++)
+      big_b[row * 3000 + j] = big_a[row * 3000 + j] * 1.5 + 1.0;
+  }
+  printf("%.1f\n", big_b[299999]);
+  return 0;
+}|}
+        in
+        let s2 = speedup src 2 and s8 = speedup src 8 in
+        Alcotest.(check bool)
+          (Printf.sprintf "plateau: %.2f@2 vs %.2f@8" s2 s8)
+          true
+          (s8 < s2 *. 3.0));
+  ]
+
+let () =
+  Alcotest.run "parexec"
+    [
+      ("cache", cache_tests);
+      ("scheduling", scheduling_tests);
+      ("bandwidth", bandwidth_tests);
+    ]

@@ -1,0 +1,79 @@
+(* Golden tests for the pretty-printer: exact renderings of the
+   constructs the transformed programs rely on, plus declarator
+   inside-out round-trips. *)
+
+open Minic
+
+let exp src = Pretty.exp_text (Parser.parse_exp_string src)
+
+let exp_cases =
+  [
+    ("precedence kept", "a + b * c", "a + b * c");
+    ("parens preserved where needed", "(a + b) * c", "(a + b) * c");
+    ("redundant parens dropped", "(a * b) + c", "a * b + c");
+    ("comparison nesting", "a < b == c", "a < b == c");
+    ("forced comparison parens", "a < (b == c)", "a < (b == c)");
+    ("shift vs add", "a << b + c", "a << b + c");
+    ("deref of sum", "*(p + 1)", "*(p + 1)");
+    ("address of element", "&a[i]", "&a[i]");
+    ("arrow chain", "p->next->value", "p->next->value");
+    ("cast then index", "((int *)q)[2]", "*((int *)q + 2)");
+    ("ternary", "a ? b : c + 1", "a ? b : c + 1");
+    ("logical mix", "a && b || c", "a && b || c");
+    ("unary minus stacking", "-(-x)", "-(-x)");
+    ("sizeof type", "sizeof(struct s *)", "sizeof(struct s *)");
+  ]
+
+let decl_cases =
+  [
+    ("scalar", Types.Tint Types.IInt, "x", "int x");
+    ("pointer", Types.Tptr (Types.Tint Types.IChar), "p", "char *p");
+    ( "array of pointers",
+      Types.Tarray (Types.Tptr (Types.Tint Types.IInt), 10),
+      "a",
+      "int *a[10]" );
+    ( "pointer to array",
+      Types.Tptr (Types.Tarray (Types.Tint Types.IInt, 16)),
+      "p",
+      "int (*p)[16]" );
+    ( "2-d array",
+      Types.Tarray (Types.Tarray (Types.Tfloat Types.FDouble, 4), 3),
+      "m",
+      "double m[3][4]" );
+    ( "pointer to pointer",
+      Types.Tptr (Types.Tptr Types.Tvoid),
+      "pp",
+      "void **pp" );
+  ]
+
+(* A declarator printed by ty_decl must parse back to the same type. *)
+let decl_roundtrip (t : Types.ty) name () =
+  let printed = Pretty.ty_decl t name ^ ";" in
+  let prog = Typecheck.parse_and_check ("int main(void){ return 0; } " ^ printed) in
+  match Ast.find_gvar prog name with
+  | Some (t', _) ->
+    Alcotest.(check bool)
+      (Printf.sprintf "%s round-trips" printed)
+      true (Types.equal_ty t t')
+  | None -> Alcotest.fail "declaration lost"
+
+let () =
+  Alcotest.run "pretty"
+    [
+      ( "expressions",
+        List.map
+          (fun (name, src, expected) ->
+            Alcotest.test_case name `Quick (fun () ->
+                Alcotest.(check string) name expected (exp src)))
+          exp_cases );
+      ( "declarators",
+        List.concat_map
+          (fun (name, t, var, expected) ->
+            [
+              Alcotest.test_case (name ^ " text") `Quick (fun () ->
+                  Alcotest.(check string) name expected (Pretty.ty_decl t var));
+              Alcotest.test_case (name ^ " roundtrip") `Quick
+                (decl_roundtrip t var);
+            ])
+          decl_cases );
+    ]

@@ -1,0 +1,100 @@
+(* Integration tests over the bundled benchmark programs: every
+   workload parses, classifies to the paper's parallelism kind, and
+   expands; the fast ones are executed end-to-end (original vs expanded
+   vs simulated-parallel outputs must be identical). *)
+
+open Minic
+
+let load (w : Workloads.Workload.t) =
+  let p =
+    Typecheck.parse_and_check ~file:w.Workloads.Workload.name
+      w.Workloads.Workload.source
+  in
+  let lids = p.Ast.parallel_loops in
+  let analyses = List.map (Privatize.Analyze.analyze p) lids in
+  (p, lids, analyses)
+
+let static_checks (w : Workloads.Workload.t) () =
+  let p, lids, analyses = load w in
+  Alcotest.(check int)
+    "number of parallel loops"
+    (List.length w.Workloads.Workload.loop_functions)
+    (List.length lids);
+  (* parallelism kind matches the paper's Table 4 *)
+  let kinds =
+    List.map
+      (fun (a : Privatize.Analyze.result) ->
+        match
+          Privatize.Classify.parallelism_kind
+            a.Privatize.Analyze.classification
+        with
+        | `Doall -> "DOALL"
+        | `Doacross -> "DOACROSS")
+      analyses
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check (list string))
+    "parallelism kind"
+    [ w.Workloads.Workload.paper_parallelism ]
+    kinds;
+  (* expansion runs and privatizes a structure count near the paper's *)
+  let res = Expand.Transform.expand_loops p analyses in
+  let ours = res.Expand.Transform.privatized in
+  let paper = w.Workloads.Workload.paper_privatized in
+  Alcotest.(check bool)
+    (Printf.sprintf "privatized count %d within 2 of paper's %d" ours paper)
+    true
+    (abs (ours - paper) <= 2);
+  (* loops dominate execution like Table 4's %time column *)
+  let prof_loop =
+    List.fold_left
+      (fun acc (a : Privatize.Analyze.result) ->
+        acc
+        + a.Privatize.Analyze.profile.Depgraph.Profiler.graph
+            .Depgraph.Graph.loop_cycles)
+      0 analyses
+  in
+  let total =
+    (List.hd analyses).Privatize.Analyze.profile.Depgraph.Profiler.graph
+      .Depgraph.Graph.total_cycles
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "loops are >2/3 of runtime (%d/%d)" prof_loop total)
+    true
+    (float_of_int prof_loop > 0.66 *. float_of_int total)
+
+let end_to_end (w : Workloads.Workload.t) () =
+  let p, _, analyses = load w in
+  let _, out0 = Interp.Machine.run_program p in
+  let res = Expand.Transform.expand_loops p analyses in
+  let specs = List.map Parexec.Sim.spec_of_analysis analyses in
+  (* sequential expanded *)
+  let m = Interp.Machine.load res.Expand.Transform.transformed in
+  Interp.Machine.set_global_int m.Interp.Machine.st "__nthreads" 8;
+  ignore (Interp.Machine.run m);
+  Alcotest.(check string) "expanded sequential output" out0
+    (Interp.Machine.output m.Interp.Machine.st);
+  (* simulated parallel *)
+  let pr =
+    Parexec.Sim.run_parallel res.Expand.Transform.transformed specs ~threads:8
+  in
+  Alcotest.(check string) "parallel output" out0 pr.Parexec.Sim.pr_output
+
+let () =
+  let static_cases =
+    List.map
+      (fun w ->
+        Alcotest.test_case w.Workloads.Workload.name `Slow (static_checks w))
+      Workloads.Registry.all
+  in
+  let e2e_cases =
+    (* keep the suite fast: execute the two cheapest benchmarks fully;
+       the experiments binary exercises the rest *)
+    List.map
+      (fun name ->
+        Alcotest.test_case name `Slow
+          (end_to_end (Workloads.Registry.find name)))
+      [ "md5"; "456.hmmer" ]
+  in
+  Alcotest.run "workloads"
+    [ ("static", static_cases); ("end-to-end", e2e_cases) ]
