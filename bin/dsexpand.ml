@@ -8,7 +8,10 @@
     - prints the access-class classification (--report),
     - prints the expanded program (default),
     - runs original and expanded programs and checks equivalence
-      (--check), optionally simulating a parallel run (--threads N). *)
+      (--check), optionally simulating a parallel run (--threads N),
+    - runs the guarded degradation ladder (--ladder), optionally under
+      an injected fault (--fault SPEC --seed N),
+    - runs the whole fault-injection campaign (--campaign). *)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -67,6 +70,70 @@ let unselective_arg =
     & info [ "promote-all" ]
         ~doc:"Promote every pointer instead of only aliases of expanded data.")
 
+let guard_arg =
+  Arg.(
+    value & flag
+    & info [ "guard" ]
+        ~doc:
+          "With --check --threads: run the expanded program under span \
+           guards and the privatization contract checker.")
+
+let ladder_arg =
+  Arg.(
+    value & flag
+    & info [ "ladder" ]
+        ~doc:
+          "Run the graceful-degradation ladder: guarded static expansion, \
+           falling back to runtime privatization, then to sequential \
+           execution, with structured diagnostics.")
+
+let fault_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "fault" ] ~docv:"SPEC"
+        ~doc:
+          "With --ladder: inject a fault. SPEC is one of drop-edge, \
+           misclassify, truncate-span:BYTES, alloc-fail:N.")
+
+let seed_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "seed" ] ~docv:"N"
+        ~doc:"Seed for the deterministic fault injector (with --fault).")
+
+let campaign_arg =
+  Arg.(
+    value & flag
+    & info [ "campaign" ]
+        ~doc:
+          "Run the full fault-injection campaign (every workload, clean \
+           and under one fault of each kind) and print the ladder table.")
+
+let parse_fault ~seed spec =
+  let fail () =
+    prerr_endline
+      ("unknown fault spec '" ^ spec
+     ^ "' (expected drop-edge | misclassify | truncate-span:BYTES | \
+        alloc-fail:N)");
+    exit 2
+  in
+  let kind =
+    match String.split_on_char ':' spec with
+    | [ "drop-edge" ] -> Faultinject.Fault.Drop_dep_edge
+    | [ "misclassify" ] -> Faultinject.Fault.Force_misclassify
+    | [ "truncate-span"; n ] -> (
+      match int_of_string_opt n with
+      | Some b when b > 0 -> Faultinject.Fault.Truncate_span b
+      | _ -> fail ())
+    | [ "alloc-fail"; n ] -> (
+      match int_of_string_opt n with
+      | Some k when k > 0 -> Faultinject.Fault.Alloc_failure k
+      | _ -> fail ())
+    | _ -> fail ()
+  in
+  Faultinject.Fault.make ~seed kind
+
 let load_source input workload =
   match (input, workload) with
   | Some path, None -> (Filename.basename path, read_file path)
@@ -77,7 +144,49 @@ let load_source input workload =
     prerr_endline "exactly one of --input or --workload is required";
     exit 2
 
-let run input workload dump_deps report check threads no_opt unselective =
+let run_ladder ~threads ~seed prog analyses fault_spec =
+  let threads = if threads > 1 then threads else 2 in
+  let oracle = Guard.Contract.oracle_of prog analyses in
+  let analyses', span_shrink, attach_extra =
+    match fault_spec with
+    | None -> (analyses, None, None)
+    | Some spec ->
+      let f = parse_fault ~seed spec in
+      let app = Faultinject.Fault.mangle f prog analyses in
+      Printf.printf "fault %s: %s\n"
+        (Faultinject.Fault.describe f)
+        app.Faultinject.Fault.note;
+      ( app.Faultinject.Fault.analyses,
+        Faultinject.Fault.span_shrink f,
+        Some (Faultinject.Fault.attach_machine f) )
+  in
+  let o =
+    Harness.Ladder.run ~threads ~reference:analyses ~oracle ?span_shrink
+      ?attach_extra prog analyses'
+  in
+  List.iter
+    (fun d -> print_endline (Harness.Ladder.diagnostic_to_string d))
+    o.Harness.Ladder.diagnostics;
+  let ok =
+    String.equal o.Harness.Ladder.output oracle.Guard.Contract.o_output
+    && o.Harness.Ladder.exit_code = oracle.Guard.Contract.o_exit
+  in
+  Printf.printf "rung held: %s (fell %d), output %s\n"
+    (Harness.Ladder.rung_name o.Harness.Ladder.rung)
+    (List.length o.Harness.Ladder.diagnostics)
+    (if ok then "identical" else "DIFFERS");
+  if not ok then exit 1
+
+let run input workload dump_deps report check threads no_opt unselective
+    guard ladder fault seed campaign =
+  if campaign then begin
+    let entries =
+      Harness.Campaign.run ~threads:(if threads > 1 then threads else 2) ()
+    in
+    print_string (Harness.Campaign.table entries);
+    if not (List.for_all Harness.Campaign.entry_safe entries) then exit 1
+  end
+  else begin
   let file, src = load_source input workload in
   let prog = Minic.Typecheck.parse_and_check ~file src in
   let lids = prog.Minic.Ast.parallel_loops in
@@ -86,7 +195,8 @@ let run input workload dump_deps report check threads no_opt unselective =
     exit 1
   end;
   let analyses = List.map (Privatize.Analyze.analyze prog) lids in
-  if dump_deps then
+  if ladder then run_ladder ~threads ~seed prog analyses fault
+  else if dump_deps then
     List.iter
       (fun (a : Privatize.Analyze.result) ->
         print_string
@@ -158,9 +268,25 @@ let run input workload dump_deps report check threads no_opt unselective =
       if threads > 1 then begin
         let specs = List.map Parexec.Sim.spec_of_analysis analyses in
         let seq = Parexec.Sim.run_sequential prog lids in
+        let attach =
+          if guard then begin
+            let oracle = Guard.Contract.oracle_of prog analyses in
+            let plan = res.Expand.Transform.plan in
+            fun m ->
+              ignore (Guard.Span_guard.attach plan m);
+              ignore (Guard.Contract.attach oracle plan m)
+          end
+          else fun _ -> ()
+        in
         let pr =
-          Parexec.Sim.run_parallel res.Expand.Transform.transformed specs
-            ~threads
+          match
+            Parexec.Sim.run_parallel ~attach res.Expand.Transform.transformed
+              specs ~threads
+          with
+          | exception Guard.Violation.Violation v ->
+            Printf.printf "guard tripped: %s\n" (Guard.Violation.to_string v);
+            exit 1
+          | pr -> pr
         in
         let ok = String.equal pr.Parexec.Sim.pr_output out0 in
         let lsum l = List.fold_left (fun a (_, c) -> a + c) 0 l in
@@ -179,6 +305,7 @@ let run input workload dump_deps report check threads no_opt unselective =
       print_string
         (Minic.Pretty.program_to_string res.Expand.Transform.transformed)
   end
+  end
 
 let cmd =
   let doc = "general data structure expansion for multi-threading" in
@@ -186,6 +313,7 @@ let cmd =
     (Cmd.info "dsexpand" ~doc)
     Term.(
       const run $ input_arg $ workload_arg $ dump_deps_arg $ report_arg
-      $ check_arg $ threads_arg $ no_opt_arg $ unselective_arg)
+      $ check_arg $ threads_arg $ no_opt_arg $ unselective_arg $ guard_arg
+      $ ladder_arg $ fault_arg $ seed_arg $ campaign_arg)
 
 let () = exit (Cmd.eval cmd)

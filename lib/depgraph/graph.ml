@@ -58,6 +58,19 @@ let add_edge g ~src ~dst ~kind ~carried =
   let e = { e_src = src; e_dst = dst; e_kind = kind; e_carried = carried } in
   if not (Hashtbl.mem g.edges e) then Hashtbl.replace g.edges e ()
 
+let remove_edge g e = Hashtbl.remove g.edges e
+
+(** Deep copy: mutating the copy (fault injection) leaves the profiler's
+    graph intact. *)
+let copy g =
+  {
+    g with
+    edges = Hashtbl.copy g.edges;
+    upwards_exposed = Hashtbl.copy g.upwards_exposed;
+    downwards_exposed = Hashtbl.copy g.downwards_exposed;
+    dyn_counts = Hashtbl.copy g.dyn_counts;
+  }
+
 let mark_upwards_exposed g aid = Hashtbl.replace g.upwards_exposed aid ()
 let mark_downwards_exposed g aid = Hashtbl.replace g.downwards_exposed aid ()
 

@@ -46,6 +46,11 @@ type t = {
 
 val create : Ast.lid -> site list -> t
 val add_edge : t -> src:Ast.aid -> dst:Ast.aid -> kind:dep_kind -> carried:bool -> unit
+val remove_edge : t -> edge -> unit
+
+(** Deep copy: mutating the copy (fault injection) leaves the original
+    intact. *)
+val copy : t -> t
 val mark_upwards_exposed : t -> Ast.aid -> unit
 val mark_downwards_exposed : t -> Ast.aid -> unit
 val bump_count : t -> Ast.aid -> unit

@@ -34,6 +34,10 @@ type t = {
       (** classification verdicts, extended with registrations for
           generated span accesses *)
   access_fun : (Ast.aid, string) Hashtbl.t;  (** access id -> function *)
+  generated_allocs : (Ast.aid, unit) Hashtbl.t;
+      (** ret-store aids of N-copy allocations the transformer emits
+          (heapified locals, [__exp_init]); span guards watch these in
+          addition to the scaled original sites in [expand_allocs] *)
 }
 
 let qualify (f : Ast.fundef) (x : string) : string =
@@ -164,6 +168,7 @@ let make ~(mode : mode) ~(selective : bool) (orig : Ast.program)
       promoted_fields = Hashtbl.create 16;
       verdicts = merge_verdicts analyses;
       access_fun = index_accesses prog;
+      generated_allocs = Hashtbl.create 16;
     }
   in
   (* 1. Expansion set: objects of private accesses. *)

@@ -1,0 +1,84 @@
+(** Expansion planning: decide what gets expanded and what gets
+    promoted before any code is rewritten.
+
+    - The {e expansion set} is every abstract object (named variable or
+      heap allocation site) that some thread-private access may touch;
+      these are the data structures replicated per thread (Table 1).
+    - The {e promotion set} is every pointer variable / struct field /
+      pointer array that may point into the expansion set; only those
+      carry a span (§3.4's selective promotion). With
+      [selective = false] every pointer in the program is promoted
+      (the unoptimized configuration of Figure 9a). *)
+
+open Minic
+
+type mode = Bonded | Interleaved
+
+type t = {
+  prog : Ast.program;  (** the copy being transformed *)
+  analyses : Privatize.Analyze.result list;
+  alias : Alias.Andersen.result;
+  mode : mode;
+  selective : bool;
+  loop_fns : string list;  (** functions containing target loops *)
+  expand_vars : (string, unit) Hashtbl.t;
+      (** qualified names: "x" for globals, "fn::x" for locals *)
+  expand_allocs : (Ast.aid, unit) Hashtbl.t;  (** malloc sites to scale by N *)
+  promoted_vars : (string, unit) Hashtbl.t;  (** qualified pointer vars *)
+  promoted_fields : (string * string, unit) Hashtbl.t;  (** (tag, field) *)
+  verdicts : (Ast.aid, Privatize.Classify.verdict) Hashtbl.t;
+      (** classification verdicts, extended with registrations for
+          generated span accesses *)
+  access_fun : (Ast.aid, string) Hashtbl.t;  (** access id -> function *)
+  generated_allocs : (Ast.aid, unit) Hashtbl.t;
+      (** ret-store aids of N-copy allocations the transformer emits
+          (heapified locals, [__exp_init]); span guards watch these in
+          addition to the scaled original sites in [expand_allocs] *)
+}
+
+(** "x" for globals, "fn::x" for locals/formals of [fn]. *)
+val qualify : Ast.fundef -> string -> string
+
+(** Split a qualified name back into (function option, variable). *)
+val unqualify : string -> string option * string
+
+(** Shallow-copy the program so transformation does not mutate the
+    original (statements are rebuilt, not mutated, by the
+    transformer). *)
+val copy_program : Ast.program -> Ast.program
+
+val loc_of_qvar : string -> Alias.Andersen.loc
+val is_expanded_loc : t -> Alias.Andersen.loc -> bool
+val expanded_loc_set : t -> Alias.Andersen.LocSet.t
+
+(** Merged verdict for an access id; defaults to [Shared]. *)
+val verdict : t -> Ast.aid -> Privatize.Classify.verdict
+
+(** Register the verdict of a generated access so that span shadows
+    are redirected exactly like the pointer accesses they mirror. *)
+val register_verdict : t -> Ast.aid -> Privatize.Classify.verdict -> unit
+
+(** Does the type contain a pointer anywhere (drives unselective
+    promotion)? *)
+val has_pointer : (string, Types.composite) Hashtbl.t -> Types.ty -> bool
+
+val is_pointerish : Types.ty -> bool
+
+(** Merge per-loop verdicts: an access is private only if every loop
+    whose site set contains it judged it private. *)
+val merge_verdicts :
+  Privatize.Analyze.result list ->
+  (Ast.aid, Privatize.Classify.verdict) Hashtbl.t
+
+val make :
+  mode:mode -> selective:bool -> Ast.program -> Privatize.Analyze.result list -> t
+
+(** Number of distinct dynamic data structures this plan privatizes
+    (Table 5): expanded named variables plus expanded allocation
+    sites. *)
+val privatized_count : t -> int
+
+val expanded_var : t -> string -> bool
+val expanded_alloc : t -> Ast.aid -> bool
+val promoted_var : t -> string -> bool
+val promoted_field : t -> string -> string -> bool

@@ -51,6 +51,12 @@ type tctx = {
           pointed to: these become an OpenMP-style private local
           (register-resident) instead of a heap replica — exactly what
           scalar expansion plus register promotion yields in GCC *)
+  span_shrink : int;
+      (** fault injection: subtract this many bytes from every span
+          used in redirection arithmetic (0 = correct code). A nonzero
+          value under-offsets copies so redirected accesses stray into
+          a neighbouring copy — exactly the corruption a span guard
+          must catch *)
 }
 
 let shared_base x = "__sb_" ^ x
@@ -425,10 +431,21 @@ let pass1 (ctx : tctx) : unit =
 let tid_load ctx : Ast.exp = Ast.Lval (fresh ctx, Ast.Var Names.tid)
 let nthreads_load ctx : Ast.exp = Ast.Lval (fresh ctx, Ast.Var Names.nthreads)
 
+(** Fault injection: under-offset a redirection span by
+    [ctx.span_shrink] bytes (identity when 0, the normal case). *)
+let shrink_span ctx (span : Ast.exp) : Ast.exp =
+  if ctx.span_shrink = 0 then span
+  else
+    Ast.Binop
+      ( Ast.Sub,
+        span,
+        Ast.Const (Ast.Cint (Int64.of_int ctx.span_shrink, Types.ILong)) )
+
 (** Redirect a private pointer-rooted access: Table 2's
     [*(p + tid*span/sizeof( *p ))], realized in byte arithmetic. *)
 let private_deref ctx (pointee : Types.ty) (ptr : Ast.exp) (span : Ast.exp) :
     Ast.lval =
+  let span = shrink_span ctx span in
   Ast.Deref
     (Ast.Cast
        ( Types.Tptr pointee,
@@ -564,7 +581,9 @@ and rewrite_lval ctx fe f (mode : [ `Private | `Shared ]) (lv : Ast.lval) :
                    ( Ast.Add,
                      Ast.Cast (Types.Tptr (Types.Tint Types.IChar), base),
                      Ast.Binop
-                       (Ast.Mul, clong (tid_load ctx), Ast.SizeofType t) ) ))
+                       ( Ast.Mul,
+                         clong (tid_load ctx),
+                         shrink_span ctx (Ast.SizeofType t) ) ) ))
         | `Shared -> Ast.Deref base
       end
     end
@@ -663,9 +682,11 @@ let heapify_locals ctx (f : Ast.fundef) : Ast.fundef =
     let allocs =
       List.map
         (fun (x, t) ->
+          let aid = fresh ctx in
+          Hashtbl.replace ctx.plan.Plan.generated_allocs aid ();
           Ast.mk_stmt
             (Ast.Scall
-               ( Some (fresh ctx, Ast.Var (Names.exp_var x)),
+               ( Some (aid, Ast.Var (Names.exp_var x)),
                  "malloc",
                  [
                    Ast.Binop
@@ -863,12 +884,27 @@ let pass2 (ctx : tctx) : unit =
                else [])
               @
               if pr then
+                let t = expanded_var_ty p f x in
+                let rhs =
+                  if ctx.span_shrink = 0 then
+                    Ast.Binop (Ast.Add, holder (), tid_load ctx)
+                  else
+                    (* injected fault: recompute the base in byte
+                       arithmetic through the truncated span *)
+                    Ast.Cast
+                      ( Types.Tptr t,
+                        Ast.Binop
+                          ( Ast.Add,
+                            Ast.Cast
+                              (Types.Tptr (Types.Tint Types.IChar), holder ()),
+                            Ast.Binop
+                              ( Ast.Mul,
+                                clong (tid_load ctx),
+                                shrink_span ctx (Ast.SizeofType t) ) ) )
+                in
                 [
                   Ast.mk_stmt
-                    (Ast.Sassign
-                       ( fresh ctx,
-                         Ast.Var (private_base x),
-                         Ast.Binop (Ast.Add, holder (), tid_load ctx) ));
+                    (Ast.Sassign (fresh ctx, Ast.Var (private_base x), rhs));
                 ]
               else [])
             bases
@@ -972,9 +1008,11 @@ let pass2 (ctx : tctx) : unit =
     List.concat_map
       (fun (x, t, ini) ->
         let alloc =
+          let aid = fresh ctx in
+          Hashtbl.replace ctx.plan.Plan.generated_allocs aid ();
           Ast.mk_stmt
             (Ast.Scall
-               ( Some (fresh ctx, Ast.Var (Names.exp_var x)),
+               ( Some (aid, Ast.Var (Names.exp_var x)),
                  "malloc",
                  [
                    Ast.Binop
@@ -1049,7 +1087,7 @@ let is_span_name (x : string) : bool =
   has_prefix "__span_" || has_prefix "__retspan_"
 
 let expand_loops ?(mode = Plan.Bonded) ?(selective = true)
-    ?(optimize = true) (orig : Ast.program)
+    ?(optimize = true) ?(span_shrink = 0) (orig : Ast.program)
     (analyses : Privatize.Analyze.result list) : result =
   let plan = Plan.make ~mode ~selective orig analyses in
   let ctx =
@@ -1059,6 +1097,7 @@ let expand_loops ?(mode = Plan.Bonded) ?(selective = true)
       cache_bases = optimize;
       cur_bases = Hashtbl.create 8;
       scalar_privates = Hashtbl.create 8;
+      span_shrink;
     }
   in
   pass1 ctx;
@@ -1079,6 +1118,6 @@ let expand_loops ?(mode = Plan.Bonded) ?(selective = true)
     opt_stats;
   }
 
-let expand ?mode ?selective ?optimize (orig : Ast.program)
+let expand ?mode ?selective ?optimize ?span_shrink (orig : Ast.program)
     (analysis : Privatize.Analyze.result) : result =
-  expand_loops ?mode ?selective ?optimize orig [ analysis ]
+  expand_loops ?mode ?selective ?optimize ?span_shrink orig [ analysis ]

@@ -33,11 +33,15 @@ type result = {
     configuration); [optimize:false] skips §3.4 span optimization and
     base caching and emits the mechanical Table 2 redirection forms.
     [mode:Interleaved] lays out copies per Figure 2(b) and rejects
-    shapes interleaving cannot express. *)
+    shapes interleaving cannot express. [span_shrink:k] (fault
+    injection, default 0) subtracts [k] bytes from every span used in
+    redirection arithmetic, deliberately mis-offsetting thread copies
+    so span guards can be exercised. *)
 val expand_loops :
   ?mode:Plan.mode ->
   ?selective:bool ->
   ?optimize:bool ->
+  ?span_shrink:int ->
   Ast.program ->
   Privatize.Analyze.result list ->
   result
@@ -47,6 +51,7 @@ val expand :
   ?mode:Plan.mode ->
   ?selective:bool ->
   ?optimize:bool ->
+  ?span_shrink:int ->
   Ast.program ->
   Privatize.Analyze.result ->
   result

@@ -1,0 +1,40 @@
+(** The privatization-contract checker: cross-checks an expanded run
+    against the sequential oracle and localizes the first diverging
+    access class. See the implementation header for the three layers
+    (static revalidation, per-access value streams, final-state
+    comparison). All failures raise {!Violation.Violation}. *)
+
+open Minic
+
+type oracle = {
+  o_streams : (Ast.aid, Bytes.t) Hashtbl.t;
+      (** per access site: 9-byte events, kind char + value (LE) *)
+  o_finals : (string, string) Hashtbl.t;  (** global name -> final bytes *)
+  o_output : string;
+  o_exit : int;
+}
+
+(** Run the original program once sequentially, recording per-access
+    value streams (pointer-typed accesses excluded — addresses differ
+    between runs), final bytes of pointer-free globals, output and
+    exit code. *)
+val oracle_of : Ast.program -> Privatize.Analyze.result list -> oracle
+
+(** Static cross-check of the plan's Definition-5 claims against a
+    reference classification: every access the plan privatizes must be
+    judged [Private] by the reference too.
+    @raise Violation.Violation with [Contract_static] on mismatch. *)
+val revalidate : Expand.Plan.t -> Privatize.Analyze.result list -> unit
+
+type checker
+
+(** Chain the stream checker onto a loaded machine of the {e expanded}
+    program (from [Parexec.Sim]'s [attach] callback); raises at the
+    first access whose (kind, value) diverges from the oracle. *)
+val attach : oracle -> Expand.Plan.t -> Interp.Machine.t -> checker
+
+(** Post-run checks: every oracle stream fully consumed, and every
+    eligible (non-expanded, pointer-free) global byte-identical to the
+    oracle's final state.
+    @raise Violation.Violation on the first divergence. *)
+val finalize : checker -> unit

@@ -1,0 +1,32 @@
+(** Shared diagnostic indexes: which loop and which access class an
+    access id belongs to, derived from the analyses a plan was built
+    from. Generated accesses (span shadows, redirection bases) appear
+    in neither and report [None]. *)
+
+open Minic
+
+type t = {
+  loop_of : (Ast.aid, Ast.lid) Hashtbl.t;
+  class_of : (Ast.aid, Ast.aid list) Hashtbl.t;
+}
+
+let of_analyses (analyses : Privatize.Analyze.result list) : t =
+  let loop_of = Hashtbl.create 256 in
+  let class_of = Hashtbl.create 256 in
+  List.iter
+    (fun (a : Privatize.Analyze.result) ->
+      let c = a.Privatize.Analyze.classification in
+      let g = c.Privatize.Classify.graph in
+      List.iter
+        (fun (s : Depgraph.Graph.site) ->
+          Hashtbl.replace loop_of s.Depgraph.Graph.s_aid g.Depgraph.Graph.loop)
+        g.Depgraph.Graph.sites;
+      List.iter
+        (fun (members, _, _) ->
+          List.iter (fun aid -> Hashtbl.replace class_of aid members) members)
+        c.Privatize.Classify.classes)
+    analyses;
+  { loop_of; class_of }
+
+let loop d aid = Hashtbl.find_opt d.loop_of aid
+let access_class d aid = Hashtbl.find_opt d.class_of aid

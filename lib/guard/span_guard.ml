@@ -1,0 +1,98 @@
+(** Span/bounds guards on fat-pointer redirection.
+
+    Expansion replicates each privatized object N times back to back
+    (bonded layout): the [tid]-th copy of a block allocated as
+    [span * N] bytes occupies [[base + tid*span, base + (tid+1)*span)].
+    Every access that lands inside such a block must therefore fall in
+    a predictable copy: the current thread's copy when its access
+    class is thread-private, copy 0 otherwise — and must not straddle
+    a copy boundary. Anything else means the redirection arithmetic
+    (or the classification behind it) is wrong, and raises
+    {!Violation.Violation} instead of silently corrupting a
+    neighbouring thread's data.
+
+    The guard learns block geometry from the machine's allocation hook
+    (expanded allocation sites are known from the plan: scaled
+    original sites plus the transformer's generated N-copy
+    allocations) and chains onto whatever observer/hooks the simulator
+    already installed. Interleaved-mode plans place copies element by
+    element, so no contiguous per-thread region exists to bound;
+    attaching to such a plan checks nothing. *)
+
+module IMap = Map.Make (Int)
+
+type entry = { span : int; total : int }
+
+type t = {
+  mutable blocks : entry IMap.t;  (** base -> geometry *)
+  mutable checked : int;  (** accesses that fell inside expanded blocks *)
+  mutable registered : int;  (** expanded blocks seen *)
+}
+
+let checked g = g.checked
+let registered g = g.registered
+
+let attach (plan : Expand.Plan.t) (m : Interp.Machine.t) : t =
+  let g = { blocks = IMap.empty; checked = 0; registered = 0 } in
+  let st = m.Interp.Machine.st in
+  if plan.Expand.Plan.mode = Expand.Plan.Bonded then begin
+    let diag = Diag.of_analyses plan.Expand.Plan.analyses in
+    let watched aid =
+      Expand.Plan.expanded_alloc plan aid
+      || Hashtbl.mem plan.Expand.Plan.generated_allocs aid
+    in
+    let prev_alloc = st.Interp.Machine.alloc_hook in
+    st.Interp.Machine.alloc_hook <-
+      Some
+        (fun aid base size ->
+          (match aid with
+          | Some a when watched a ->
+            let n =
+              max 1 (Interp.Machine.get_global_int st Expand.Names.nthreads)
+            in
+            (* expanded sites allocate exactly span * N bytes *)
+            if size >= n && size mod n = 0 then begin
+              g.blocks <- IMap.add base { span = size / n; total = size } g.blocks;
+              g.registered <- g.registered + 1
+            end
+          | _ -> ());
+          match prev_alloc with Some f -> f aid base size | None -> ());
+    let prev_free = st.Interp.Machine.free_hook in
+    st.Interp.Machine.free_hook <-
+      Some
+        (fun base size ->
+          g.blocks <- IMap.remove base g.blocks;
+          match prev_free with Some f -> f base size | None -> ());
+    let prev_obs = st.Interp.Machine.observer in
+    st.Interp.Machine.observer <-
+      Some
+        (fun aid kind addr size ->
+          (match IMap.find_last_opt (fun b -> b <= addr) g.blocks with
+          | Some (base, e) when addr < base + e.total ->
+            g.checked <- g.checked + 1;
+            let off = addr - base in
+            let copy = off / e.span in
+            let expected =
+              match Expand.Plan.verdict plan aid with
+              | Privatize.Classify.Private ->
+                Interp.Machine.get_global_int st Expand.Names.tid
+              | Privatize.Classify.Shared | Privatize.Classify.Induction -> 0
+            in
+            if copy <> expected then
+              Violation.fire Violation.Span_guard ?loop:(Diag.loop diag aid)
+                ~access:aid
+                ?access_class:(Diag.access_class diag aid)
+                "address %d lands in copy %d of expanded block %d (span %d), \
+                 expected copy %d"
+                addr copy base e.span expected;
+            if (off mod e.span) + size > e.span then
+              Violation.fire Violation.Span_guard ?loop:(Diag.loop diag aid)
+                ~access:aid
+                ?access_class:(Diag.access_class diag aid)
+                "access at %d (+%d) straddles a copy boundary of block %d \
+                 (span %d)"
+                addr size base e.span
+          | _ -> ());
+          match prev_obs with Some f -> f aid kind addr size | None -> ())
+  end;
+  g

@@ -1,0 +1,22 @@
+(** Span/bounds guards on fat-pointer redirection.
+
+    Every access landing inside an expanded (bonded-layout) block must
+    fall in the current thread's copy when its access class is
+    thread-private, in copy 0 otherwise, and must not straddle a copy
+    boundary; anything else raises {!Violation.Violation} with a
+    [Span_guard] info instead of silently corrupting another thread's
+    data. Interleaved-mode plans have no contiguous per-thread region,
+    so attaching to one checks nothing. *)
+
+type t
+
+(** Chain the guard onto a loaded machine's allocation / free /
+    observer hooks (call after the simulator installed its own hooks,
+    e.g. from [Parexec.Sim]'s [attach] callback). *)
+val attach : Expand.Plan.t -> Interp.Machine.t -> t
+
+(** Accesses that fell inside expanded blocks and were checked. *)
+val checked : t -> int
+
+(** Expanded blocks registered over the run. *)
+val registered : t -> int

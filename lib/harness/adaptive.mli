@@ -1,0 +1,23 @@
+(** Adaptive layout selection — the scheme the paper's conclusion
+    lists as future work: probe both expansion layouts empirically and
+    keep the cheaper one. Interleaving is only attempted when every
+    expanded structure fits its restricted shape; otherwise bonded
+    wins by default (the robustness argument of §3.1). *)
+
+open Minic
+
+type choice = {
+  mode : Expand.Plan.mode;
+  result : Expand.Transform.result;
+  bonded_cycles : int;
+  interleaved_cycles : int option;
+      (** [None] when the program has a shape interleaving rejects *)
+}
+
+(** Cycle cost of a sequential cache-modelled run of [prog] with
+    [__nthreads] set to the target thread count. *)
+val probe : Ast.program -> Ast.lid list -> int -> int
+
+(** Expand with whichever layout the probe prefers. *)
+val choose :
+  ?threads:int -> Ast.program -> Privatize.Analyze.result list -> choice

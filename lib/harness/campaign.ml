@@ -1,0 +1,96 @@
+(** The fault-injection campaign: for every benchmark workload, run
+    the degradation ladder clean and under each default fault, and
+    check the system's safety contract — every run's final output is
+    bit-identical to the sequential oracle, whether the static rung
+    held, a guard caught the fault, or the ladder degraded. *)
+
+open Minic
+
+type entry = {
+  c_workload : string;
+  c_fault : Faultinject.Fault.t option;  (** [None] = clean run *)
+  c_note : string;  (** what the fault actually mangled *)
+  c_verdicts_changed : bool;
+  c_outcome : Ladder.outcome;
+  c_output_ok : bool;  (** output and exit bit-identical to the oracle *)
+}
+
+(** One fault of each kind, deterministically seeded. *)
+let default_faults : Faultinject.Fault.t list =
+  [
+    Faultinject.Fault.make ~seed:1 Faultinject.Fault.Drop_dep_edge;
+    Faultinject.Fault.make ~seed:2 Faultinject.Fault.Force_misclassify;
+    Faultinject.Fault.make ~seed:3 (Faultinject.Fault.Truncate_span 8);
+    Faultinject.Fault.make ~seed:4 (Faultinject.Fault.Alloc_failure 2);
+  ]
+
+let run_workload ?(threads = 2) ?(faults = default_faults)
+    (w : Workloads.Workload.t) : entry list =
+  let prog =
+    Typecheck.parse_and_check ~file:w.Workloads.Workload.name
+      w.Workloads.Workload.source
+  in
+  let lids = prog.Ast.parallel_loops in
+  let analyses = List.map (Privatize.Analyze.analyze prog) lids in
+  (* one sequential oracle per workload, shared by every configuration *)
+  let oracle = Guard.Contract.oracle_of prog analyses in
+  let entry fault =
+    let analyses', note, changed, span_shrink, attach_extra =
+      match fault with
+      | None -> (analyses, "clean", false, None, None)
+      | Some f ->
+        let app = Faultinject.Fault.mangle f prog analyses in
+        ( app.Faultinject.Fault.analyses,
+          app.Faultinject.Fault.note,
+          app.Faultinject.Fault.verdicts_changed,
+          Faultinject.Fault.span_shrink f,
+          Some (Faultinject.Fault.attach_machine f) )
+    in
+    let outcome =
+      Ladder.run ~threads ~reference:analyses ~oracle ?span_shrink
+        ?attach_extra prog analyses'
+    in
+    {
+      c_workload = w.Workloads.Workload.name;
+      c_fault = fault;
+      c_note = note;
+      c_verdicts_changed = changed;
+      c_outcome = outcome;
+      c_output_ok =
+        String.equal outcome.Ladder.output oracle.Guard.Contract.o_output
+        && outcome.Ladder.exit_code = oracle.Guard.Contract.o_exit;
+    }
+  in
+  entry None :: List.map (fun f -> entry (Some f)) faults
+
+let run ?threads ?faults ?(workloads = Workloads.Registry.all) () :
+    entry list =
+  List.concat_map (run_workload ?threads ?faults) workloads
+
+(** The campaign's safety contract, per entry: the final output is
+    bit-identical to the sequential oracle, and a fallen rung is
+    always explained by a diagnostic. *)
+let entry_safe (e : entry) : bool =
+  e.c_output_ok
+  && (e.c_outcome.Ladder.rung = Ladder.Static_expansion
+     || e.c_outcome.Ladder.diagnostics <> [])
+
+let table (entries : entry list) : string =
+  Report.Tables.ladder_table
+    (List.map
+       (fun e ->
+         {
+           Report.Tables.lr_workload = e.c_workload;
+           lr_fault =
+             (match e.c_fault with
+             | None -> "-"
+             | Some f -> Faultinject.Fault.describe f);
+           lr_rung = Ladder.rung_name e.c_outcome.Ladder.rung;
+           lr_fell = List.length e.c_outcome.Ladder.diagnostics;
+           lr_output_ok = e.c_output_ok;
+           lr_detail =
+             (match e.c_outcome.Ladder.diagnostics with
+             | [] -> ""
+             | d :: _ -> Ladder.diagnostic_to_string d);
+         })
+       entries)

@@ -1,0 +1,36 @@
+(** The fault-injection campaign: run the degradation ladder for every
+    workload, clean and under each default fault, and check the safety
+    contract (output always bit-identical to the sequential oracle;
+    every fallen rung explained by a diagnostic). *)
+
+type entry = {
+  c_workload : string;
+  c_fault : Faultinject.Fault.t option;  (** [None] = clean run *)
+  c_note : string;  (** what the fault actually mangled *)
+  c_verdicts_changed : bool;
+  c_outcome : Ladder.outcome;
+  c_output_ok : bool;  (** output and exit bit-identical to the oracle *)
+}
+
+(** One fault of each kind, deterministically seeded. *)
+val default_faults : Faultinject.Fault.t list
+
+val run_workload :
+  ?threads:int ->
+  ?faults:Faultinject.Fault.t list ->
+  Workloads.Workload.t ->
+  entry list
+
+val run :
+  ?threads:int ->
+  ?faults:Faultinject.Fault.t list ->
+  ?workloads:Workloads.Workload.t list ->
+  unit ->
+  entry list
+
+(** Per-entry safety contract: output bit-identical to the oracle and
+    every fallen rung explained. *)
+val entry_safe : entry -> bool
+
+(** Render entries via {!Report.Tables.ladder_table}. *)
+val table : entry list -> string

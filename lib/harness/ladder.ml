@@ -1,0 +1,166 @@
+(** The graceful-degradation ladder.
+
+    Static expansion is speculation: Definition 5's preconditions rest
+    on profiled dependences and alias analysis, either of which can be
+    wrong. Instead of trusting the expanded program blindly, each run
+    climbs down a ladder until a rung holds:
+
+    + {b Static expansion} — the expanded program runs under span
+      guards and the privatization contract checker, cross-checked
+      against the sequential oracle.
+    + {b Runtime privatization} — on an unprovable precondition, a
+      tripped guard, a failed run or diverging output, the {e original}
+      program is retried under the SpiceC-style runtime-privatization
+      baseline (§4.2.1), which privatizes dynamically and needs no
+      static claims.
+    + {b Sequential} — on further failure, the sequential oracle's
+      result is used directly.
+
+    Every step down records a structured diagnostic (which rung fell,
+    why — including the guard's loop/access-class localization), so a
+    degraded run is explainable, never silent. *)
+
+open Minic
+
+type rung = Static_expansion | Runtime_privatization | Sequential
+
+let rung_name = function
+  | Static_expansion -> "static-expansion"
+  | Runtime_privatization -> "runtime-privatization"
+  | Sequential -> "sequential"
+
+type trigger =
+  | Unsupported_shape of string
+      (** the transformer rejected the program (Definition-5 scope) *)
+  | Static_contract of Guard.Violation.info
+      (** revalidation against the reference classification failed *)
+  | Guard_trip of Guard.Violation.info
+      (** a span guard or contract check fired during/after the run *)
+  | Run_failure of string  (** machine fault (OOM, memory fault, ...) *)
+  | Output_mismatch  (** program output differed from the oracle *)
+
+let trigger_to_string = function
+  | Unsupported_shape m -> "unsupported shape: " ^ m
+  | Static_contract v -> "static contract: " ^ Guard.Violation.to_string v
+  | Guard_trip v -> "guard trip: " ^ Guard.Violation.to_string v
+  | Run_failure m -> "run failure: " ^ m
+  | Output_mismatch -> "output mismatch vs sequential oracle"
+
+type diagnostic = { fell_from : rung; trigger : trigger }
+
+let diagnostic_to_string d =
+  Printf.sprintf "%s fell: %s" (rung_name d.fell_from)
+    (trigger_to_string d.trigger)
+
+type outcome = {
+  rung : rung;  (** the rung that finally held *)
+  diagnostics : diagnostic list;  (** one per rung that fell, in order *)
+  output : string;
+  exit_code : int;
+  par : Parexec.Sim.par_result option;
+      (** the parallel result of the holding rung (None for
+          [Sequential]) *)
+}
+
+let int_t = Types.Tint Types.IInt
+
+(* The original program plus the two runtime globals the simulator
+   pokes; running it under run_parallel executes the unmodified
+   sequential semantics with the runtime-privatization surcharge. *)
+let rp_program (orig : Ast.program) : Ast.program =
+  let p = Expand.Plan.copy_program orig in
+  p.Ast.globals <-
+    Ast.Gvar (Expand.Names.tid, int_t, None)
+    :: Ast.Gvar (Expand.Names.nthreads, int_t, None)
+    :: p.Ast.globals;
+  p
+
+let run ?(threads = 4) ?reference ?oracle ?span_shrink ?attach_extra
+    (orig : Ast.program) (analyses : Privatize.Analyze.result list) : outcome
+    =
+  let oracle =
+    match oracle with
+    | Some o -> o
+    | None -> Guard.Contract.oracle_of orig analyses
+  in
+  let specs = List.map Parexec.Sim.spec_of_analysis analyses in
+  let extra m = match attach_extra with Some f -> f m | None -> () in
+  (* Rung 0: guarded static expansion. *)
+  let static_attempt () =
+    match Expand.Transform.expand_loops ?span_shrink orig analyses with
+    | exception Expand.Transform.Unsupported msg ->
+      Error (Unsupported_shape msg)
+    | res -> (
+      let plan = res.Expand.Transform.plan in
+      match
+        Option.iter (fun r -> Guard.Contract.revalidate plan r) reference
+      with
+      | exception Guard.Violation.Violation v -> Error (Static_contract v)
+      | () -> (
+        let checker = ref None in
+        let attach m =
+          ignore (Guard.Span_guard.attach plan m);
+          checker := Some (Guard.Contract.attach oracle plan m);
+          extra m
+        in
+        match
+          Parexec.Sim.run_parallel ~attach res.Expand.Transform.transformed
+            specs ~threads
+        with
+        | exception Guard.Violation.Violation v -> Error (Guard_trip v)
+        | exception Interp.Memory.Fault msg -> Error (Run_failure msg)
+        | exception Interp.Machine.Runtime_error msg ->
+          Error (Run_failure msg)
+        | pr -> (
+          match Option.iter Guard.Contract.finalize !checker with
+          | exception Guard.Violation.Violation v -> Error (Guard_trip v)
+          | () ->
+            if
+              pr.Parexec.Sim.pr_output <> oracle.Guard.Contract.o_output
+              || pr.Parexec.Sim.pr_exit <> oracle.Guard.Contract.o_exit
+            then Error Output_mismatch
+            else Ok pr)))
+  in
+  match static_attempt () with
+  | Ok pr ->
+    {
+      rung = Static_expansion;
+      diagnostics = [];
+      output = pr.Parexec.Sim.pr_output;
+      exit_code = pr.Parexec.Sim.pr_exit;
+      par = Some pr;
+    }
+  | Error trigger -> (
+    let diags = ref [ { fell_from = Static_expansion; trigger } ] in
+    (* Rung 1: the original program under runtime privatization. *)
+    let rp_attempt () =
+      let rp = Runtimepriv.Rp.config_of orig analyses in
+      match Parexec.Sim.run_parallel ~rp (rp_program orig) specs ~threads with
+      | exception Interp.Memory.Fault msg -> Error (Run_failure msg)
+      | exception Interp.Machine.Runtime_error msg -> Error (Run_failure msg)
+      | pr ->
+        if
+          pr.Parexec.Sim.pr_output <> oracle.Guard.Contract.o_output
+          || pr.Parexec.Sim.pr_exit <> oracle.Guard.Contract.o_exit
+        then Error Output_mismatch
+        else Ok pr
+    in
+    match rp_attempt () with
+    | Ok pr ->
+      {
+        rung = Runtime_privatization;
+        diagnostics = !diags;
+        output = pr.Parexec.Sim.pr_output;
+        exit_code = pr.Parexec.Sim.pr_exit;
+        par = Some pr;
+      }
+    | Error trigger ->
+      diags := !diags @ [ { fell_from = Runtime_privatization; trigger } ];
+      (* Rung 2: the sequential oracle itself. *)
+      {
+        rung = Sequential;
+        diagnostics = !diags;
+        output = oracle.Guard.Contract.o_output;
+        exit_code = oracle.Guard.Contract.o_exit;
+        par = None;
+      })

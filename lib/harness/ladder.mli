@@ -1,0 +1,50 @@
+(** The graceful-degradation ladder: guarded static expansion, then
+    the runtime-privatization baseline, then sequential execution —
+    each step down recorded as a structured diagnostic. *)
+
+open Minic
+
+type rung = Static_expansion | Runtime_privatization | Sequential
+
+val rung_name : rung -> string
+
+type trigger =
+  | Unsupported_shape of string
+      (** the transformer rejected the program (Definition-5 scope) *)
+  | Static_contract of Guard.Violation.info
+      (** revalidation against the reference classification failed *)
+  | Guard_trip of Guard.Violation.info
+      (** a span guard or contract check fired during/after the run *)
+  | Run_failure of string  (** machine fault (OOM, memory fault, ...) *)
+  | Output_mismatch  (** program output differed from the oracle *)
+
+val trigger_to_string : trigger -> string
+
+type diagnostic = { fell_from : rung; trigger : trigger }
+
+val diagnostic_to_string : diagnostic -> string
+
+type outcome = {
+  rung : rung;  (** the rung that finally held *)
+  diagnostics : diagnostic list;  (** one per rung that fell, in order *)
+  output : string;
+  exit_code : int;
+  par : Parexec.Sim.par_result option;
+      (** the parallel result of the holding rung (None for
+          [Sequential]) *)
+}
+
+(** Run [orig] (with its per-loop analyses, possibly fault-mangled)
+    down the ladder. [reference] enables static revalidation against a
+    trusted classification; [oracle] reuses a previously captured
+    sequential oracle (otherwise one is captured here); [span_shrink]
+    and [attach_extra] thread fault injection into the static rung. *)
+val run :
+  ?threads:int ->
+  ?reference:Privatize.Analyze.result list ->
+  ?oracle:Guard.Contract.oracle ->
+  ?span_shrink:int ->
+  ?attach_extra:(Interp.Machine.t -> unit) ->
+  Ast.program ->
+  Privatize.Analyze.result list ->
+  outcome

@@ -1,0 +1,46 @@
+(** Per-operation cycle costs for the deterministic execution model.
+
+    The absolute values approximate a simple in-order core; only the
+    ratios matter for reproducing the paper's speedup shapes. Memory
+    operations additionally pay whatever the pluggable access-cost
+    hook (e.g. the cache model in {!Parexec}) charges. *)
+
+val load : int
+val store : int
+val arith : int
+val mul : int
+val div : int
+val float_arith : int
+val float_div : int
+
+(** sqrt, exp, log, ... *)
+val float_fn : int
+
+val branch : int
+val call : int
+val malloc : int
+val free : int
+
+(** Per character of formatted output. *)
+val io_char : int
+
+(** GOMP-like runtime costs, used by the parallel simulator. *)
+
+(** Per parallel-loop entry: team wakeup. *)
+val gomp_fork : int
+
+(** Per thread, at loop exit. *)
+val gomp_barrier : int
+
+(** Per dynamically-scheduled chunk. *)
+val gomp_dispatch : int
+
+(** SpiceC-style runtime privatization costs (per event), used by the
+    {!Runtimepriv} baseline. *)
+
+(** Access-control library call: heap-prefix lookup of the private
+    copy. *)
+val rp_resolve : int
+
+(** Copy-in / commit, per byte, at loop boundaries. *)
+val rp_copy_byte : int

@@ -61,6 +61,11 @@ type state = {
           dependences into their next allocation (a thread-safe
           allocator hands parallel threads distinct blocks), so the
           dependence profiler clears their shadow state *)
+  mutable alloc_hook : (Ast.aid option -> int -> int -> unit) option;
+      (** (ret-store aid, base, requested size) after malloc / calloc /
+          realloc; the aid is that of the call's return-value store,
+          [None] when the result is discarded. Span guards use it to
+          recognise expanded blocks by their allocation site *)
   mutable rand_state : int64;
   mutable fuel : int;  (** decremented per loop iteration and call *)
 }
@@ -125,6 +130,7 @@ let make_state () : state =
     access_extra = None;
     loop_hook = None;
     free_hook = None;
+    alloc_hook = None;
     rand_state = 0x9E3779B97F4A7C15L;
     fuel = 2_000_000_000;
   }
@@ -578,16 +584,19 @@ let rec compile_stmt (ctx : ctx) (s : Ast.stmt) : unit -> unit =
     let in_reg =
       match lv with Ast.Var x -> Hashtbl.mem ctx.regs x | _ -> false
     in
+    (* the observer fires after the write so value-reading observers
+       (the privatization-contract checker) see the stored value; the
+       dependence profiler is positional and does not care *)
     if in_reg then fun () ->
       let v = ce () in
       let addr = addr_c () in
-      do_store_reg st aid addr width;
-      store_scalar st (comps ctx) loc tlv addr v
+      store_scalar st (comps ctx) loc tlv addr v;
+      do_store_reg st aid addr width
     else fun () ->
       let v = ce () in
       let addr = addr_c () in
-      do_store st aid addr width;
-      store_scalar st (comps ctx) loc tlv addr v
+      store_scalar st (comps ctx) loc tlv addr v;
+      do_store st aid addr width
   | Ast.Scall (ret, f, args) -> compile_call ctx loc ret f args
   | Ast.Sseq stmts ->
     let cs = Array.of_list (List.map (compile_stmt ctx) stmts) in
@@ -664,12 +673,12 @@ and compile_call ctx loc ret f args : unit -> unit =
       in
       if in_reg then fun v ->
         let addr = addr_c () in
-        do_store_reg st aid addr width;
-        store_scalar st (comps ctx) loc tlv addr v
+        store_scalar st (comps ctx) loc tlv addr v;
+        do_store_reg st aid addr width
       else fun v ->
         let addr = addr_c () in
-        do_store st aid addr width;
-        store_scalar st (comps ctx) loc tlv addr v
+        store_scalar st (comps ctx) loc tlv addr v;
+        do_store st aid addr width
   in
   match Ast.find_fun ctx.m.prog f with
   | Some _ ->
@@ -699,8 +708,8 @@ and compile_call ctx loc ret f args : unit -> unit =
       List.iter2
         (fun (off, t, aid) v ->
           let addr = base + off in
-          do_store st aid addr (scalar_width (comps ctx) loc t);
-          store_scalar st (comps ctx) loc t addr v)
+          store_scalar st (comps ctx) loc t addr v;
+          do_store st aid addr (scalar_width (comps ctx) loc t))
         cf.cf_formals argv;
       let result =
         try
@@ -712,7 +721,8 @@ and compile_call ctx loc ret f args : unit -> unit =
       st.frame <- old_frame;
       store_ret result
   | None ->
-    let bi = compile_builtin ctx loc f in
+    let ret_aid = Option.map fst ret in
+    let bi = compile_builtin ctx loc ?ret_aid f in
     fun () ->
       charge st Cost.call;
       st.stats.n_calls <- st.stats.n_calls + 1;
@@ -723,8 +733,11 @@ and compile_call ctx loc ret f args : unit -> unit =
 (* Builtins                                                            *)
 (* ------------------------------------------------------------------ *)
 
-and compile_builtin ctx loc name : value list -> value =
+and compile_builtin ctx loc ?ret_aid name : value list -> value =
   let st = ctx.m.st in
+  let notify_alloc base size =
+    match st.alloc_hook with Some h -> h ret_aid base size | None -> ()
+  in
   let int1 f = function
     | [ v ] -> f (as_int v)
     | _ -> runtime_error "bad arity for %s" name
@@ -740,15 +753,19 @@ and compile_builtin ctx loc name : value list -> value =
     int1 (fun n ->
         charge st Cost.malloc;
         st.stats.n_allocs <- st.stats.n_allocs + 1;
-        Vint (Int64.of_int (Memory.alloc st.mem (Int64.to_int n))))
+        let n = Int64.to_int n in
+        let base = Memory.alloc st.mem n in
+        notify_alloc base n;
+        Vint (Int64.of_int base))
   | "calloc" -> (
     function
     | [ a; b ] ->
       charge st Cost.malloc;
       st.stats.n_allocs <- st.stats.n_allocs + 1;
-      Vint
-        (Int64.of_int
-           (Memory.alloc st.mem (Int64.to_int (as_int a) * Int64.to_int (as_int b))))
+      let n = Int64.to_int (as_int a) * Int64.to_int (as_int b) in
+      let base = Memory.alloc st.mem n in
+      notify_alloc base n;
+      Vint (Int64.of_int base)
     | _ -> runtime_error "bad arity for calloc")
   | "realloc" -> (
     function
@@ -756,13 +773,18 @@ and compile_builtin ctx loc name : value list -> value =
       charge st (Cost.malloc + Cost.free);
       st.stats.n_allocs <- st.stats.n_allocs + 1;
       let p = Int64.to_int (as_int p) and n = Int64.to_int (as_int n) in
-      if p = 0 then Vint (Int64.of_int (Memory.alloc st.mem n))
+      if p = 0 then begin
+        let base = Memory.alloc st.mem n in
+        notify_alloc base n;
+        Vint (Int64.of_int base)
+      end
       else begin
         let old = Memory.block_size st.mem p in
         let fresh = Memory.alloc st.mem n in
         Memory.blit st.mem ~src:p ~dst:fresh ~len:(min old n);
         (match st.free_hook with Some h -> h p old | None -> ());
         Memory.free st.mem p;
+        notify_alloc fresh n;
         Vint (Int64.of_int fresh)
       end
     | _ -> runtime_error "bad arity for realloc")

@@ -38,9 +38,14 @@ type state = {
   mutable cycles : int;
   stats : stats;
   mutable observer : (Ast.aid -> Visit.access_kind -> int -> int -> unit) option;
+      (** fires on every access; for stores it fires {e after} the
+          write, so an observer may read the just-stored value *)
   mutable access_extra : (Visit.access_kind -> int -> int -> int) option;
   mutable loop_hook : (Ast.lid -> loop_event -> unit) option;
   mutable free_hook : (int -> int -> unit) option;
+  mutable alloc_hook : (Ast.aid option -> int -> int -> unit) option;
+      (** (ret-store aid, base, requested size) after malloc / calloc /
+          realloc; the aid is that of the call's return-value store *)
   mutable rand_state : int64;
   mutable fuel : int;  (** decremented per loop iteration and call *)
 }

@@ -14,6 +14,9 @@ type t = {
   mutable live_bytes : int;
   mutable peak_bytes : int;
   mutable alloc_count : int;
+  mutable fail_countdown : int option;
+      (** fault injection: [Some n] makes the [n]-th subsequent tracked
+          allocation raise {!Fault} (an out-of-memory model) *)
 }
 
 exception Fault of string
@@ -31,6 +34,7 @@ let create ?(initial = 1 lsl 16) () =
     live_bytes = 0;
     peak_bytes = 0;
     alloc_count = 0;
+    fail_countdown = None;
   }
 
 let ensure m size =
@@ -53,6 +57,13 @@ let align8 n = (n + 7) land lnot 7
 
 let alloc ?(track = true) m size : int =
   if size < 0 then fault "allocation of negative size %d" size;
+  (if track then
+     match m.fail_countdown with
+     | Some n when n <= 1 ->
+       m.fail_countdown <- None;
+       fault "injected allocation failure (size %d)" size
+     | Some n -> m.fail_countdown <- Some (n - 1)
+     | None -> ());
   let size = max size 1 in
   let bucket = bucket_of size in
   let base =
@@ -168,3 +179,17 @@ let read_cstring m addr : string =
 let live_bytes m = m.live_bytes
 let peak_bytes m = m.peak_bytes
 let alloc_count m = m.alloc_count
+
+let set_alloc_fault m n =
+  if n <= 0 then invalid_arg "set_alloc_fault: n must be positive";
+  m.fail_countdown <- Some n
+
+let clear_alloc_fault m = m.fail_countdown <- None
+
+let find_block m addr : (int * int) option =
+  Hashtbl.fold
+    (fun base size acc ->
+      match acc with
+      | Some _ -> acc
+      | None -> if addr >= base && addr < base + size then Some (base, size) else None)
+    m.blocks None

@@ -51,3 +51,13 @@ val live_bytes : t -> int
 val peak_bytes : t -> int
 
 val alloc_count : t -> int
+
+(** Fault injection: make the [n]-th subsequent tracked allocation
+    raise {!Fault} ([n] >= 1), modelling allocation failure. The knob
+    disarms itself after firing. *)
+val set_alloc_fault : t -> int -> unit
+
+val clear_alloc_fault : t -> unit
+
+(** [(base, size)] of the live allocation containing [addr], if any. *)
+val find_block : t -> int -> (int * int) option

@@ -101,7 +101,7 @@ type seq_result = {
 
 (** Run a program sequentially under the cache model; the baseline for
     speedups. *)
-let run_sequential ?(machine = default_machine) (prog : Ast.program)
+let run_sequential ?(machine = default_machine) ?attach (prog : Ast.program)
     (lids : Ast.lid list) : seq_result =
   let m = Interp.Machine.load prog in
   let st = m.Interp.Machine.st in
@@ -135,6 +135,7 @@ let run_sequential ?(machine = default_machine) (prog : Ast.program)
             in
             Hashtbl.replace loop_cycles lid
               (d + Option.value ~default:0 (Hashtbl.find_opt loop_cycles lid)));
+  (match attach with Some f -> f m | None -> ());
   let exit_code = Interp.Machine.run m in
   {
     sq_output = Interp.Machine.output st;
@@ -245,7 +246,7 @@ type active_loop = {
 
 (** Simulate a parallel run of [prog] (an expanded program reading
     [__tid]/[__nthreads]) on [threads] threads. *)
-let run_parallel ?(machine = default_machine) ?rp (prog : Ast.program)
+let run_parallel ?(machine = default_machine) ?rp ?attach (prog : Ast.program)
     (specs : loop_spec list) ~(threads : int) : par_result =
   let lids = List.map (fun s -> s.lid) specs in
   let counts = count_iterations prog threads lids in
@@ -473,6 +474,9 @@ let run_parallel ?(machine = default_machine) ?rp (prog : Ast.program)
                 tctx;
               active := None
             | _ -> ())));
+  (* guards and fault injectors chain onto the hooks installed above;
+     the count_iterations pre-run is deliberately left unattached *)
+  (match attach with Some f -> f m | None -> ());
   let exit_code = Interp.Machine.run m in
   let measured_total = st.Interp.Machine.cycles in
   (* simulated total = measured total with each target loop's measured

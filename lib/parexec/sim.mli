@@ -50,9 +50,15 @@ type seq_result = {
 }
 
 (** Run a program sequentially under the cache model; the baseline for
-    speedups. *)
+    speedups. [attach] is invoked on the loaded machine after the
+    simulator installs its own hooks and just before execution starts,
+    so guards / fault injectors can chain onto them. *)
 val run_sequential :
-  ?machine:machine_params -> Ast.program -> Ast.lid list -> seq_result
+  ?machine:machine_params ->
+  ?attach:(Interp.Machine.t -> unit) ->
+  Ast.program ->
+  Ast.lid list ->
+  seq_result
 
 (** SpiceC-style runtime-privatization surcharge (see
     {!Runtimepriv.Rp}): monitored accesses pay a resolution cost and
@@ -83,10 +89,14 @@ type par_result = {
 }
 
 (** Simulate a parallel run of an expanded program (one reading
-    [__tid]/[__nthreads]) on [threads] threads. *)
+    [__tid]/[__nthreads]) on [threads] threads. [attach] is invoked on
+    the measured machine after the simulator installs its own hooks and
+    just before execution (the iteration-counting pre-run is left
+    unattached), so guards / fault injectors can chain onto them. *)
 val run_parallel :
   ?machine:machine_params ->
   ?rp:runtime_priv ->
+  ?attach:(Interp.Machine.t -> unit) ->
   Ast.program ->
   loop_spec list ->
   threads:int ->

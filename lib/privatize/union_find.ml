@@ -52,4 +52,4 @@ let classes uf : int list list =
   |> List.sort compare
 
 let members uf : int list =
-  Hashtbl.fold (fun x _ acc -> x :: acc) uf.parent []
+  List.sort compare (Hashtbl.fold (fun x _ acc -> x :: acc) uf.parent [])

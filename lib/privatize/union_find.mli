@@ -19,5 +19,5 @@ val same : t -> int -> int -> bool
     ordered. *)
 val classes : t -> int list list
 
-(** Every key ever added. *)
+(** Every key ever added, sorted. *)
 val members : t -> int list

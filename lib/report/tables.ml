@@ -44,3 +44,30 @@ let render ~(header : string list) (rows : string list list) : string =
 
 let fx f = Printf.sprintf "%.2f" f
 let pct f = Printf.sprintf "%.1f%%" (100.0 *. f)
+
+(** One row of the degradation-ladder / fault-campaign report. *)
+type ladder_row = {
+  lr_workload : string;
+  lr_fault : string;  (** "-" for the clean configuration *)
+  lr_rung : string;  (** rung that finally held *)
+  lr_fell : int;  (** rungs fallen before it held *)
+  lr_output_ok : bool;  (** bit-identical to the sequential oracle *)
+  lr_detail : string;  (** first diagnostic, "" when none *)
+}
+
+(** Render ladder outcomes (the robustness counterpart of the paper's
+    performance tables): one row per (workload, fault) configuration. *)
+let ladder_table (rows : ladder_row list) : string =
+  render
+    ~header:[ "workload"; "fault"; "rung held"; "fell"; "output"; "diagnostic" ]
+    (List.map
+       (fun r ->
+         [
+           r.lr_workload;
+           r.lr_fault;
+           r.lr_rung;
+           string_of_int r.lr_fell;
+           (if r.lr_output_ok then "ok" else "MISMATCH");
+           r.lr_detail;
+         ])
+       rows)

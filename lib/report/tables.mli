@@ -13,3 +13,17 @@ val fx : float -> string
 
 (** [pct 0.427] is ["42.7%"]. *)
 val pct : float -> string
+
+(** One row of the degradation-ladder / fault-campaign report. *)
+type ladder_row = {
+  lr_workload : string;
+  lr_fault : string;  (** "-" for the clean configuration *)
+  lr_rung : string;  (** rung that finally held *)
+  lr_fell : int;  (** rungs fallen before it held *)
+  lr_output_ok : bool;  (** bit-identical to the sequential oracle *)
+  lr_detail : string;  (** first diagnostic, "" when none *)
+}
+
+(** Render ladder outcomes (the robustness counterpart of the paper's
+    performance tables): one row per (workload, fault) configuration. *)
+val ladder_table : ladder_row list -> string

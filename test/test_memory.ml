@@ -102,6 +102,85 @@ let accessor_tests =
           (Interp.Memory.load m b 1));
   ]
 
+(* The fault paths: invalid accesses must raise Memory.Fault (never
+   corrupt the arena silently), and the injected-allocation-failure
+   knob must fire on exactly the armed allocation. *)
+let expect_fault name f =
+  match f () with
+  | exception Interp.Memory.Fault _ -> ()
+  | _ -> Alcotest.fail ("expected a fault: " ^ name)
+
+let fault_tests =
+  [
+    Alcotest.test_case "out-of-bounds store faults" `Quick (fun () ->
+        let m = Interp.Memory.create () in
+        let a = Interp.Memory.alloc m 8 in
+        expect_fault "store past the arena" (fun () ->
+            Interp.Memory.store m (a + 1_000_000) 4 1L));
+    Alcotest.test_case "double free faults" `Quick (fun () ->
+        let m = Interp.Memory.create () in
+        let a = Interp.Memory.alloc m 32 in
+        Interp.Memory.free m a;
+        expect_fault "second free" (fun () -> Interp.Memory.free m a));
+    Alcotest.test_case "null dereference faults" `Quick (fun () ->
+        let m = Interp.Memory.create () in
+        expect_fault "load *0" (fun () -> Interp.Memory.load m 0 8);
+        expect_fault "store *0" (fun () -> Interp.Memory.store m 0 4 7L));
+    Alcotest.test_case "sub-base_address access faults" `Quick (fun () ->
+        let m = Interp.Memory.create () in
+        expect_fault "load below base" (fun () ->
+            Interp.Memory.load m (Interp.Memory.base_address - 4) 4);
+        expect_fault "store below base" (fun () ->
+            Interp.Memory.store m (Interp.Memory.base_address - 1) 1 1L));
+    Alcotest.test_case "free of non-base address faults" `Quick (fun () ->
+        let m = Interp.Memory.create () in
+        let a = Interp.Memory.alloc m 32 in
+        expect_fault "free of interior pointer" (fun () ->
+            Interp.Memory.free m (a + 8)));
+    Alcotest.test_case "alloc fault fires on the n-th allocation" `Quick
+      (fun () ->
+        let m = Interp.Memory.create () in
+        Interp.Memory.set_alloc_fault m 3;
+        ignore (Interp.Memory.alloc m 8);
+        ignore (Interp.Memory.alloc m 8);
+        expect_fault "third allocation" (fun () -> Interp.Memory.alloc m 8);
+        (* the knob disarms itself after firing *)
+        ignore (Interp.Memory.alloc m 8));
+    Alcotest.test_case "untracked allocations don't consume the countdown"
+      `Quick (fun () ->
+        let m = Interp.Memory.create () in
+        Interp.Memory.set_alloc_fault m 1;
+        ignore (Interp.Memory.alloc ~track:false m 64);
+        expect_fault "first tracked allocation" (fun () ->
+            Interp.Memory.alloc m 8));
+    Alcotest.test_case "clear_alloc_fault disarms" `Quick (fun () ->
+        let m = Interp.Memory.create () in
+        Interp.Memory.set_alloc_fault m 1;
+        Interp.Memory.clear_alloc_fault m;
+        ignore (Interp.Memory.alloc m 8));
+    Alcotest.test_case "set_alloc_fault rejects n < 1" `Quick (fun () ->
+        let m = Interp.Memory.create () in
+        match Interp.Memory.set_alloc_fault m 0 with
+        | exception Invalid_argument _ -> ()
+        | () -> Alcotest.fail "expected Invalid_argument");
+    Alcotest.test_case "find_block locates the containing allocation" `Quick
+      (fun () ->
+        let m = Interp.Memory.create () in
+        let a = Interp.Memory.alloc m 40 in
+        (match Interp.Memory.find_block m (a + 17) with
+        | Some (base, size) ->
+          Alcotest.(check int) "base" a base;
+          Alcotest.(check int) "size" 40 size
+        | None -> Alcotest.fail "block not found");
+        Alcotest.(check bool) "past the end is outside" true
+          (match Interp.Memory.find_block m (a + 40) with
+          | Some (base, _) -> base <> a
+          | None -> true);
+        Interp.Memory.free m a;
+        Alcotest.(check bool) "freed block is gone" true
+          (Interp.Memory.find_block m (a + 17) = None));
+  ]
+
 (* store/load roundtrip law over random values and widths *)
 let roundtrip_law =
   QCheck.Test.make ~count:300 ~name:"store/load roundtrip with truncation"
@@ -123,5 +202,6 @@ let () =
     [
       ("allocator", alloc_tests);
       ("accessors", accessor_tests);
+      ("faults", fault_tests);
       ("laws", [ QCheck_alcotest.to_alcotest roundtrip_law ]);
     ]

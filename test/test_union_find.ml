@@ -1,0 +1,145 @@
+(* Unit and property tests for the union-find backing Definition 4's
+   access-class equivalence: representative stability, class listing,
+   and the equivalence-relation laws under random union sequences. *)
+
+module Uf = Privatize.Union_find
+
+let unit_tests =
+  [
+    Alcotest.test_case "fresh keys are singletons" `Quick (fun () ->
+        let u = Uf.create () in
+        Uf.add u 1;
+        Uf.add u 2;
+        Alcotest.(check bool) "not same" false (Uf.same u 1 2);
+        Alcotest.(check (list (list int))) "classes" [ [ 1 ]; [ 2 ] ]
+          (Uf.classes u));
+    Alcotest.test_case "add is idempotent" `Quick (fun () ->
+        let u = Uf.create () in
+        Uf.add u 7;
+        Uf.add u 7;
+        Alcotest.(check (list int)) "members" [ 7 ] (Uf.members u);
+        Alcotest.(check (list (list int))) "classes" [ [ 7 ] ] (Uf.classes u));
+    Alcotest.test_case "find registers unknown keys" `Quick (fun () ->
+        let u = Uf.create () in
+        let r = Uf.find u 42 in
+        Alcotest.(check int) "own representative" 42 r;
+        Alcotest.(check (list int)) "member now" [ 42 ] (Uf.members u));
+    Alcotest.test_case "union merges and is idempotent" `Quick (fun () ->
+        let u = Uf.create () in
+        Uf.union u 1 2;
+        Uf.union u 1 2;
+        Uf.union u 2 1;
+        Alcotest.(check bool) "same" true (Uf.same u 1 2);
+        Alcotest.(check (list (list int))) "one class" [ [ 1; 2 ] ]
+          (Uf.classes u));
+    Alcotest.test_case "transitive chains collapse" `Quick (fun () ->
+        let u = Uf.create () in
+        Uf.union u 1 2;
+        Uf.union u 3 4;
+        Alcotest.(check bool) "disjoint so far" false (Uf.same u 1 4);
+        Uf.union u 2 3;
+        Alcotest.(check bool) "linked" true (Uf.same u 1 4);
+        Alcotest.(check int) "one representative" 1
+          (List.length (Uf.classes u)));
+    Alcotest.test_case "self union is a no-op" `Quick (fun () ->
+        let u = Uf.create () in
+        Uf.union u 5 5;
+        Alcotest.(check (list (list int))) "singleton" [ [ 5 ] ] (Uf.classes u));
+    Alcotest.test_case "classes are sorted and deterministic" `Quick (fun () ->
+        let u = Uf.create () in
+        Uf.union u 9 3;
+        Uf.union u 3 6;
+        Uf.add u 1;
+        Alcotest.(check (list (list int))) "sorted members" [ [ 1 ]; [ 3; 6; 9 ] ]
+          (Uf.classes u));
+  ]
+
+(* Random union scripts: pairs of keys drawn from a small domain so
+   collisions and chains actually happen. *)
+let script = QCheck.(list (pair (int_bound 15) (int_bound 15)))
+
+let apply u ops = List.iter (fun (a, b) -> Uf.union u a b) ops
+
+let law_equivalence =
+  QCheck.Test.make ~count:200 ~name:"same is an equivalence relation" script
+    (fun ops ->
+      let u = Uf.create () in
+      apply u ops;
+      let ms = Uf.members u in
+      List.for_all (fun a -> Uf.same u a a) ms
+      && List.for_all
+           (fun a ->
+             List.for_all
+               (fun b ->
+                 Uf.same u a b = Uf.same u b a
+                 && List.for_all
+                      (fun c ->
+                        (not (Uf.same u a b && Uf.same u b c))
+                        || Uf.same u a c)
+                      ms)
+               ms)
+           ms)
+
+let law_partition =
+  QCheck.Test.make ~count:200 ~name:"classes partition the members" script
+    (fun ops ->
+      let u = Uf.create () in
+      apply u ops;
+      let cs = Uf.classes u in
+      let flat = List.concat cs in
+      List.sort compare flat = Uf.members u
+      && List.for_all
+           (fun cls ->
+             List.for_all
+               (fun a -> List.for_all (fun b -> Uf.same u a b) cls)
+               cls)
+           cs
+      && List.for_all
+           (fun cls ->
+             List.for_all
+               (fun other ->
+                 cls == other
+                 || not (Uf.same u (List.hd cls) (List.hd other)))
+               cs)
+           cs)
+
+let law_find_canonical =
+  QCheck.Test.make ~count:200
+    ~name:"find returns one representative per class" script (fun ops ->
+      let u = Uf.create () in
+      apply u ops;
+      List.for_all
+        (fun cls ->
+          let r = Uf.find u (List.hd cls) in
+          List.mem r cls
+          && List.for_all (fun a -> Uf.find u a = r) cls)
+        (Uf.classes u))
+
+let law_union_monotone =
+  QCheck.Test.make ~count:200 ~name:"union never splits a class"
+    QCheck.(pair script (pair (int_bound 15) (int_bound 15)))
+    (fun (ops, (a, b)) ->
+      let u = Uf.create () in
+      apply u ops;
+      let before = Uf.classes u in
+      Uf.union u a b;
+      List.for_all
+        (fun cls ->
+          match cls with
+          | [] -> true
+          | x :: rest -> List.for_all (fun y -> Uf.same u x y) rest)
+        before)
+
+let () =
+  Alcotest.run "union_find"
+    [
+      ("unit", unit_tests);
+      ( "laws",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            law_equivalence;
+            law_partition;
+            law_find_canonical;
+            law_union_monotone;
+          ] );
+    ]
