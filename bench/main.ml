@@ -89,22 +89,92 @@ let print_results results =
   in
   Notty_unix.eol results |> Notty_unix.output_image
 
+(* Per-test OLS run-cost estimates (ns), flattened over measures. *)
+let estimates_of results : (string * float) list =
+  Hashtbl.fold
+    (fun _measure tbl acc ->
+      Hashtbl.fold
+        (fun name ols acc ->
+          match Analyze.OLS.estimates ols with
+          | Some (e :: _) -> (name, e) :: acc
+          | _ -> acc)
+        tbl acc)
+    results []
+  |> List.sort compare
+
+(* Machine-readable results for CI trending; the schema is documented
+   in EXPERIMENTS.md ("dsexpand-bench/1"). *)
+let results_json ~fast ~stages ~artifacts (benches : Harness.Bench_run.t list)
+    : Telemetry.Json.t =
+  let open Telemetry.Json in
+  let ns_obj kvs = Obj (List.map (fun (k, v) -> (k, Float v)) kvs) in
+  let at_threads f ts =
+    Obj (List.map (fun t -> (string_of_int t, Float (f ~threads:t))) ts)
+  in
+  let workload (b : Harness.Bench_run.t) =
+    Obj
+      [
+        ( "name",
+          Str b.Harness.Bench_run.workload.Workloads.Workload.name );
+        ( "loop_speedup",
+          at_threads
+            (fun ~threads -> Harness.Bench_run.loop_speedup b ~threads)
+            [ 2; 4; 8 ] );
+        ( "total_speedup",
+          at_threads
+            (fun ~threads -> Harness.Bench_run.total_speedup b ~threads)
+            [ 2; 4; 8 ] );
+        ( "memory_multiple",
+          at_threads
+            (fun ~threads -> Harness.Bench_run.memory_multiple b ~threads)
+            [ 4; 8 ] );
+      ]
+  in
+  Obj
+    [
+      ("schema", Str "dsexpand-bench/1");
+      ("fast", Bool fast);
+      ("stages_ns", ns_obj stages);
+      ("artifacts_ns", ns_obj artifacts);
+      ("workloads", List (List.map workload benches));
+    ]
+
 let () =
+  let fast = Array.exists (String.equal "--fast") Sys.argv in
   Bechamel_notty.Unit.add Instance.monotonic_clock
     (Measure.unit Instance.monotonic_clock);
   print_endline "== toolchain stage micro-benchmarks (bechamel) ==";
-  print_results
-    (benchmark (Test.make_grouped ~name:"stages" ~fmt:"%s %s" stage_tests));
+  let stage_results =
+    benchmark (Test.make_grouped ~name:"stages" ~fmt:"%s %s" stage_tests)
+  in
+  print_results stage_results;
   print_endline "";
   print_endline "== per-artifact regeneration timings on md5 (bechamel) ==";
-  print_results
-    (benchmark
-       (Test.make_grouped ~name:"artifacts" ~fmt:"%s %s" artifact_tests));
+  let artifact_results =
+    benchmark (Test.make_grouped ~name:"artifacts" ~fmt:"%s %s" artifact_tests)
+  in
+  print_results artifact_results;
   print_newline ();
-  print_endline "== full evaluation: all tables and figures, all benchmarks ==";
-  let benches = List.map Harness.Bench_run.load Workloads.Registry.all in
+  let workloads =
+    if fast then [ md5_workload ] else Workloads.Registry.all
+  in
+  Printf.printf "== full evaluation: all tables and figures, %s ==\n"
+    (if fast then "md5 only (--fast)" else "all benchmarks");
+  let benches = List.map Harness.Bench_run.load workloads in
   List.iter
     (fun (name, thunk) ->
       Printf.printf "\n--- %s ---\n%!" name;
       print_string (thunk ()))
-    (Harness.Figures.all benches)
+    (Harness.Figures.all benches);
+  let json =
+    results_json ~fast
+      ~stages:(estimates_of stage_results)
+      ~artifacts:(estimates_of artifact_results)
+      benches
+  in
+  let oc = open_out "BENCH_results.json" in
+  output_string oc (Telemetry.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  print_newline ();
+  print_endline "wrote BENCH_results.json"

@@ -110,6 +110,32 @@ let campaign_arg =
           "Run the full fault-injection campaign (every workload, clean \
            and under one fault of each kind) and print the ladder table.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace_event JSON file of the run (load into \
+           Perfetto or chrome://tracing). Deterministic: the same --seed \
+           produces a byte-identical trace.")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Print the telemetry metrics report (counters, span totals, and \
+           — with --check --threads — the per-workload cost attribution) \
+           after the run.")
+
+let metrics_format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("table", `Table); ("json", `Json) ]) `Table
+    & info [ "metrics-format" ] ~docv:"FMT"
+        ~doc:"Format of the --metrics report: $(b,table) or $(b,json).")
+
 let parse_fault ~seed spec =
   let fail () =
     prerr_endline
@@ -133,6 +159,72 @@ let parse_fault ~seed spec =
     | _ -> fail ()
   in
   Faultinject.Fault.make ~seed kind
+
+(* The --check --threads branch deposits its cost-attribution row here
+   for the at_exit metrics report (so failure paths still report). *)
+let metrics_row_stash : Report.Tables.metrics_row option ref = ref None
+
+let attribution_json (r : Report.Tables.metrics_row) : Telemetry.Json.t =
+  let cb = r.Report.Tables.m_breakdown in
+  Telemetry.Json.Obj
+    [
+      ("workload", Telemetry.Json.Str r.Report.Tables.m_workload);
+      ("threads", Telemetry.Json.Int r.Report.Tables.m_threads);
+      ("loop_speedup", Telemetry.Json.Float r.Report.Tables.m_loop_speedup);
+      ("total_speedup", Telemetry.Json.Float r.Report.Tables.m_total_speedup);
+      ("compute_cycles", Telemetry.Json.Int cb.Report.Tables.cb_compute);
+      ("cache_stall_cycles", Telemetry.Json.Int cb.Report.Tables.cb_cache);
+      ("sync_stall_cycles", Telemetry.Json.Int cb.Report.Tables.cb_sync);
+      ("privatization_cycles", Telemetry.Json.Int cb.Report.Tables.cb_priv);
+      ("idle_cycles", Telemetry.Json.Int cb.Report.Tables.cb_idle);
+      ("runtime_cycles", Telemetry.Json.Int cb.Report.Tables.cb_runtime);
+    ]
+
+(** Install the aggregator (+ trace collector) and register the
+    end-of-process report/trace dump. [at_exit] so the error paths
+    ([exit 1]/[exit 2]) still write the trace and metrics collected so
+    far. *)
+let setup_telemetry ~trace ~metrics ~metrics_format : unit =
+  if trace <> None || metrics then begin
+    let agg = Telemetry.Counters.create () in
+    let chrome = Telemetry.Chrome_trace.create () in
+    let sinks =
+      Telemetry.Counters.sink agg
+      ::
+      (match trace with
+      | Some _ -> [ Telemetry.Chrome_trace.sink chrome ]
+      | None -> [])
+    in
+    Telemetry.Sink.install (Telemetry.Sink.tee sinks);
+    at_exit (fun () ->
+        Telemetry.Sink.clear ();
+        Option.iter (Telemetry.Chrome_trace.write chrome) trace;
+        if metrics then begin
+          let snap = Telemetry.Counters.snapshot agg in
+          match metrics_format with
+          | `Json ->
+            let fields =
+              match Telemetry.Metrics.to_json snap with
+              | Telemetry.Json.Obj fields -> fields
+              | j -> [ ("metrics", j) ]
+            in
+            let attribution =
+              match !metrics_row_stash with
+              | None -> Telemetry.Json.Null
+              | Some r -> attribution_json r
+            in
+            print_endline
+              (Telemetry.Json.to_string
+                 (Telemetry.Json.Obj
+                    (fields @ [ ("attribution", attribution) ])))
+          | `Table ->
+            (match !metrics_row_stash with
+            | Some row -> print_string (Report.Tables.metrics_table [ row ])
+            | None -> ());
+            print_string
+              (Report.Tables.counters_table snap.Telemetry.Counters.counters)
+        end)
+  end
 
 let load_source input workload =
   match (input, workload) with
@@ -178,7 +270,8 @@ let run_ladder ~threads ~seed prog analyses fault_spec =
   if not ok then exit 1
 
 let run input workload dump_deps report check threads no_opt unselective
-    guard ladder fault seed campaign =
+    guard ladder fault seed campaign trace metrics metrics_format =
+  setup_telemetry ~trace ~metrics ~metrics_format;
   if campaign then begin
     let entries =
       Harness.Campaign.run ~threads:(if threads > 1 then threads else 2) ()
@@ -188,7 +281,10 @@ let run input workload dump_deps report check threads no_opt unselective
   end
   else begin
   let file, src = load_source input workload in
-  let prog = Minic.Typecheck.parse_and_check ~file src in
+  let prog =
+    Telemetry.Span.wall "phase.parse" (fun () ->
+        Minic.Typecheck.parse_and_check ~file src)
+  in
   let lids = prog.Minic.Ast.parallel_loops in
   if lids = [] then begin
     prerr_endline "no #pragma parallel loop found";
@@ -290,14 +386,27 @@ let run input workload dump_deps report check threads no_opt unselective
         in
         let ok = String.equal pr.Parexec.Sim.pr_output out0 in
         let lsum l = List.fold_left (fun a (_, c) -> a + c) 0 l in
+        let loop_speedup =
+          float_of_int (lsum seq.Parexec.Sim.sq_loop)
+          /. float_of_int (lsum pr.Parexec.Sim.pr_loop)
+        and total_speedup =
+          float_of_int seq.Parexec.Sim.sq_total
+          /. float_of_int pr.Parexec.Sim.pr_total
+        in
+        metrics_row_stash :=
+          Some
+            {
+              Report.Tables.m_workload = file;
+              m_threads = threads;
+              m_loop_speedup = loop_speedup;
+              m_total_speedup = total_speedup;
+              m_breakdown = Harness.Bench_run.breakdown_of ~seq ~par:pr;
+            };
         Printf.printf
           "parallel T=%d: output %s, loop speedup %.2fx, total %.2fx\n"
           threads
           (if ok then "identical" else "DIFFERS")
-          (float_of_int (lsum seq.Parexec.Sim.sq_loop)
-          /. float_of_int (lsum pr.Parexec.Sim.pr_loop))
-          (float_of_int seq.Parexec.Sim.sq_total
-          /. float_of_int pr.Parexec.Sim.pr_total)
+          loop_speedup total_speedup
       end;
       if not (String.equal out0 out1) then exit 1
     end
@@ -314,6 +423,7 @@ let cmd =
     Term.(
       const run $ input_arg $ workload_arg $ dump_deps_arg $ report_arg
       $ check_arg $ threads_arg $ no_opt_arg $ unselective_arg $ guard_arg
-      $ ladder_arg $ fault_arg $ seed_arg $ campaign_arg)
+      $ ladder_arg $ fault_arg $ seed_arg $ campaign_arg $ trace_arg
+      $ metrics_arg $ metrics_format_arg)
 
 let () = exit (Cmd.eval cmd)

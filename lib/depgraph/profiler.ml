@@ -103,6 +103,7 @@ let loop_sites (prog : Ast.program) (loop_stmt : Ast.stmt) : Graph.site list =
 
 (** Profile [lid] by running the whole program once. *)
 let profile (prog : Ast.program) (lid : Ast.lid) : profile =
+  Telemetry.Span.wall "phase.profile" @@ fun () ->
   let loop_stmt =
     match Visit.find_loop_fun prog lid with
     | Some (_, s) -> s
@@ -220,6 +221,10 @@ let profile (prog : Ast.program) (lid : Ast.lid) : profile =
         done);
   let exit_code = Interp.Machine.run m in
   g.Graph.total_cycles <- st.Interp.Machine.cycles;
+  if Telemetry.Sink.enabled () then begin
+    Telemetry.Span.count "profile.sites" (List.length g.Graph.sites);
+    Telemetry.Span.count "profile.edges" (Hashtbl.length g.Graph.edges)
+  end;
   {
     graph = g;
     stats = st.Interp.Machine.stats;

@@ -1089,7 +1089,11 @@ let is_span_name (x : string) : bool =
 let expand_loops ?(mode = Plan.Bonded) ?(selective = true)
     ?(optimize = true) ?(span_shrink = 0) (orig : Ast.program)
     (analyses : Privatize.Analyze.result list) : result =
-  let plan = Plan.make ~mode ~selective orig analyses in
+  let plan =
+    Telemetry.Span.wall "phase.plan" (fun () ->
+        Plan.make ~mode ~selective orig analyses)
+  in
+  Telemetry.Span.wall "phase.expand" @@ fun () ->
   let ctx =
     {
       plan;
@@ -1111,6 +1115,16 @@ let expand_loops ?(mode = Plan.Bonded) ?(selective = true)
   (* validate the transformed program; this also normalizes the new
      statement nesting introduced by the rewriting *)
   Typecheck.check plan.Plan.prog;
+  Telemetry.Span.count "expand.privatized" (Plan.privatized_count plan);
+  (match opt_stats with
+  | Some st ->
+    Telemetry.Span.count "expand.spanopt.self_assigns_removed"
+      st.Optim.Spanopt.self_assigns_removed;
+    Telemetry.Span.count "expand.spanopt.dead_stores_removed"
+      st.Optim.Spanopt.dead_stores_removed;
+    Telemetry.Span.count "expand.spanopt.loads_propagated"
+      st.Optim.Spanopt.loads_propagated
+  | None -> ());
   {
     plan;
     transformed = plan.Plan.prog;

@@ -188,6 +188,7 @@ let attach (oracle : oracle) (plan : Expand.Plan.t) (m : Interp.Machine.t) :
                 Interp.Memory.load st.Interp.Machine.mem addr size
               in
               cur := !cur + 9;
+              Telemetry.Span.count "contract.stream_checks" 1;
               if want_kind <> kind_char kind || want <> got then
                 Violation.fire Violation.Contract_stream
                   ?loop:(Diag.loop diag aid) ~access:aid
@@ -243,5 +244,7 @@ let finalize (c : checker) : unit =
               (Char.code want.[!diff])
               (Char.code got.[!diff])
           end
+          else Telemetry.Span.count "contract.globals_matched" 1
         | None -> ())
-    c.c_oracle.o_finals
+    c.c_oracle.o_finals;
+  Telemetry.Span.count "contract.finalized" 1

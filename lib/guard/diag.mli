@@ -1,0 +1,20 @@
+(** Shared diagnostic indexes: which loop and which access class an
+    access id belongs to, derived from the analyses a plan was built
+    from. Generated accesses (span shadows, redirection bases) appear
+    in neither and report [None]. *)
+
+open Minic
+
+type t = {
+  loop_of : (Ast.aid, Ast.lid) Hashtbl.t;
+  class_of : (Ast.aid, Ast.aid list) Hashtbl.t;
+}
+
+(** Build the indexes from the analyses behind a plan. *)
+val of_analyses : Privatize.Analyze.result list -> t
+
+(** The loop whose dependence graph contains [aid], if any. *)
+val loop : t -> Ast.aid -> Ast.lid option
+
+(** The members of [aid]'s access class, if it belongs to one. *)
+val access_class : t -> Ast.aid -> Ast.aid list option

@@ -72,20 +72,35 @@ let attach (plan : Expand.Plan.t) (m : Interp.Machine.t) : t =
             g.checked <- g.checked + 1;
             let off = addr - base in
             let copy = off / e.span in
+            let verdict = Expand.Plan.verdict plan aid in
             let expected =
-              match Expand.Plan.verdict plan aid with
+              match verdict with
               | Privatize.Classify.Private ->
                 Interp.Machine.get_global_int st Expand.Names.tid
               | Privatize.Classify.Shared | Privatize.Classify.Induction -> 0
             in
-            if copy <> expected then
+            if Telemetry.Sink.enabled () then begin
+              Telemetry.Span.count "guard.span_lookups" 1;
+              (match verdict with
+              | Privatize.Classify.Private ->
+                Telemetry.Span.count "guard.redirect.private" 1
+              | Privatize.Classify.Shared | Privatize.Classify.Induction ->
+                Telemetry.Span.count "guard.redirect.shared" 1)
+            end;
+            let wrong_copy = copy <> expected in
+            let straddles = (off mod e.span) + size > e.span in
+            if Telemetry.Sink.enabled () then
+              if wrong_copy || straddles then
+                Telemetry.Span.count "guard.checks_failed" 1
+              else Telemetry.Span.count "guard.checks_passed" 1;
+            if wrong_copy then
               Violation.fire Violation.Span_guard ?loop:(Diag.loop diag aid)
                 ~access:aid
                 ?access_class:(Diag.access_class diag aid)
                 "address %d lands in copy %d of expanded block %d (span %d), \
                  expected copy %d"
                 addr copy base e.span expected;
-            if (off mod e.span) + size > e.span then
+            if straddles then
               Violation.fire Violation.Span_guard ?loop:(Diag.loop diag aid)
                 ~access:aid
                 ?access_class:(Diag.access_class diag aid)

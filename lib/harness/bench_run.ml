@@ -25,8 +25,9 @@ type t = {
 
 let load (w : Workloads.Workload.t) : t =
   let prog =
-    Typecheck.parse_and_check ~file:w.Workloads.Workload.name
-      w.Workloads.Workload.source
+    Telemetry.Span.wall "phase.parse" (fun () ->
+        Typecheck.parse_and_check ~file:w.Workloads.Workload.name
+          w.Workloads.Workload.source)
   in
   let lids = prog.Ast.parallel_loops in
   let analyses = List.map (Privatize.Analyze.analyze prog) lids in
@@ -120,6 +121,43 @@ let memory_multiple (b : t) ~threads : float =
   let pr = par b ~threads in
   float_of_int pr.Parexec.Sim.pr_peak
   /. float_of_int (seq b).Parexec.Sim.sq_peak
+
+(** Attribute a parallel run's cycles, aggregated over threads
+    (Figure 12 and the [--metrics] report). Busy cycles split into
+    cache stalls, the compute also present in the sequential run, and
+    — whatever busy work exceeds the sequential loop's — privatization
+    overhead (redirection arithmetic, span shadows, extra copies). *)
+let breakdown_of ~(seq : Parexec.Sim.seq_result)
+    ~(par : Parexec.Sim.par_result) : Report.Tables.cycles_breakdown =
+  let sum a = Array.fold_left ( + ) 0 a in
+  let seq_compute =
+    List.fold_left (fun a (_, c) -> a + c) 0 seq.Parexec.Sim.sq_loop
+    - seq.Parexec.Sim.sq_cache_stall
+  in
+  let par_busy_compute =
+    sum par.Parexec.Sim.pr_busy - par.Parexec.Sim.pr_cache_stall
+  in
+  let cb_priv = max 0 (par_busy_compute - seq_compute) in
+  {
+    Report.Tables.cb_compute = par_busy_compute - cb_priv;
+    cb_cache = par.Parexec.Sim.pr_cache_stall;
+    cb_sync = sum par.Parexec.Sim.pr_sync;
+    cb_priv;
+    cb_idle = sum par.Parexec.Sim.pr_idle;
+    cb_runtime = par.Parexec.Sim.pr_overhead;
+  }
+
+let cost_breakdown (b : t) ~threads : Report.Tables.cycles_breakdown =
+  breakdown_of ~seq:(seq b) ~par:(par b ~threads)
+
+let metrics_row (b : t) ~threads : Report.Tables.metrics_row =
+  {
+    Report.Tables.m_workload = b.workload.Workloads.Workload.name;
+    m_threads = threads;
+    m_loop_speedup = loop_speedup b ~threads;
+    m_total_speedup = total_speedup b ~threads;
+    m_breakdown = cost_breakdown b ~threads;
+  }
 
 (** Runtime privatization's memory multiple: the original footprint
     plus one copy of the touched private bytes per extra thread. The

@@ -44,3 +44,21 @@ val rp_seq_slowdown : t -> float
 val memory_multiple : t -> threads:int -> float
 
 val rp_memory_multiple : t -> threads:int -> float
+
+(** Attribute a parallel run's cycles, aggregated over threads
+    (Figure 12 and the [--metrics] report). Pure: combines an
+    already-measured pair of runs, so any caller holding the two
+    results — the CLI, the experiments binary, a test — shares one
+    formula. Busy cycles split into cache stalls, the compute also
+    present in the sequential run, and — whatever busy work exceeds
+    the sequential loop's — privatization overhead. *)
+val breakdown_of :
+  seq:Parexec.Sim.seq_result ->
+  par:Parexec.Sim.par_result ->
+  Report.Tables.cycles_breakdown
+
+(** [breakdown_of] over this benchmark's memoized runs. *)
+val cost_breakdown : t -> threads:int -> Report.Tables.cycles_breakdown
+
+(** The benchmark's full [--metrics] row at [threads]. *)
+val metrics_row : t -> threads:int -> Report.Tables.metrics_row

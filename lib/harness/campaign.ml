@@ -26,6 +26,7 @@ let default_faults : Faultinject.Fault.t list =
 
 let run_workload ?(threads = 2) ?(faults = default_faults)
     (w : Workloads.Workload.t) : entry list =
+  Telemetry.Span.wall ~cat:"campaign" "campaign.workload" @@ fun () ->
   let prog =
     Typecheck.parse_and_check ~file:w.Workloads.Workload.name
       w.Workloads.Workload.source
@@ -61,7 +62,13 @@ let run_workload ?(threads = 2) ?(faults = default_faults)
         && outcome.Ladder.exit_code = oracle.Guard.Contract.o_exit;
     }
   in
-  entry None :: List.map (fun f -> entry (Some f)) faults
+  let entries = entry None :: List.map (fun f -> entry (Some f)) faults in
+  if Telemetry.Sink.enabled () then begin
+    Telemetry.Span.count "campaign.runs" (List.length entries);
+    Telemetry.Span.count "campaign.output_ok"
+      (List.length (List.filter (fun e -> e.c_output_ok) entries))
+  end;
+  entries
 
 let run ?threads ?faults ?(workloads = Workloads.Registry.all) () :
     entry list =

@@ -112,7 +112,8 @@ let fig9 (benches : Bench_run.t list) ~(optimized : bool) : string =
     (if optimized then "b" else "a")
     (if optimized then "WITH" else "WITHOUT")
   ^ Tables.render ~header:[ "benchmark"; "slowdown (x)" ] rows
-  ^ Printf.sprintf "harmonic mean: %.2fx\n" (Tables.harmonic_mean slowdowns)
+  ^ Printf.sprintf "harmonic mean: %sx\n"
+      (Tables.fx (Tables.harmonic_mean slowdowns))
 
 let fig10 (benches : Bench_run.t list) : string =
   let rows =
@@ -164,32 +165,30 @@ let fig11 (benches : Bench_run.t list) : string =
   in
   loops ^ "\n" ^ totals
   ^ Printf.sprintf
-      "harmonic mean of total speedups: %.2f @4 cores, %.2f @8 cores (paper: \
+      "harmonic mean of total speedups: %s @4 cores, %s @8 cores (paper: \
        1.93, 2.24)\n"
-      (hm 4) (hm 8)
+      (Tables.fx (hm 4))
+      (Tables.fx (hm 8))
 
 let fig12 (benches : Bench_run.t list) ~(threads : int) : string =
   let rows =
     List.map
       (fun b ->
-        let pr = Bench_run.par b ~threads in
-        let sum a = Array.fold_left ( + ) 0 a in
-        let busy = sum pr.Parexec.Sim.pr_busy
-        and sync = sum pr.Parexec.Sim.pr_sync
-        and idle = sum pr.Parexec.Sim.pr_idle
-        and ovh = pr.Parexec.Sim.pr_overhead in
-        let total = max 1 (busy + sync + idle + ovh) in
-        let p n = Tables.pct (float_of_int n /. float_of_int total) in
-        [ name b; p busy; p sync; p idle; p ovh ])
+        name b :: Tables.breakdown_cells (Bench_run.cost_breakdown b ~threads))
       benches
   in
   Printf.sprintf
     "Figure 12: cycle breakdown of the %d-core run (aggregated over threads)\n"
     threads
-  ^ Tables.render
-      ~header:
-        [ "benchmark"; "work"; "sync wait"; "do_wait/cpu_relax"; "gomp overhead" ]
-      rows
+  ^ Tables.render ~header:("benchmark" :: Tables.breakdown_header) rows
+
+(** The [--metrics] table over all benchmarks: speedups plus cycle
+    attribution at one thread count. *)
+let metrics (benches : Bench_run.t list) ~(threads : int) : string =
+  Printf.sprintf "Metrics: per-workload cost attribution at %d threads\n"
+    threads
+  ^ Tables.metrics_table
+      (List.map (fun b -> Bench_run.metrics_row b ~threads) benches)
 
 let fig13 (benches : Bench_run.t list) : string =
   speedup_table "Figure 13: loop speedup under runtime privatization"
@@ -231,4 +230,5 @@ let all (benches : Bench_run.t list) : (string * (unit -> string)) list =
     ("fig12", fun () -> fig12 benches ~threads:8);
     ("fig13", fun () -> fig13 benches);
     ("fig14", fun () -> fig14 benches);
+    ("metrics", fun () -> metrics benches ~threads:4);
   ]

@@ -11,6 +11,10 @@ val fig9 : Bench_run.t list -> optimized:bool -> string
 val fig10 : Bench_run.t list -> string
 val fig11 : Bench_run.t list -> string
 val fig12 : Bench_run.t list -> threads:int -> string
+
+(** The [--metrics] table over all benchmarks: speedups plus cycle
+    attribution at one thread count. *)
+val metrics : Bench_run.t list -> threads:int -> string
 val fig13 : Bench_run.t list -> string
 val fig14 : Bench_run.t list -> string
 

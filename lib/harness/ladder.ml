@@ -121,8 +121,9 @@ let run ?(threads = 4) ?reference ?oracle ?span_shrink ?attach_extra
             then Error Output_mismatch
             else Ok pr)))
   in
-  match static_attempt () with
-  | Ok pr ->
+  let outcome =
+    match static_attempt () with
+    | Ok pr ->
     {
       rung = Static_expansion;
       diagnostics = [];
@@ -164,3 +165,10 @@ let run ?(threads = 4) ?reference ?oracle ?span_shrink ?attach_extra
         exit_code = oracle.Guard.Contract.o_exit;
         par = None;
       })
+  in
+  if Telemetry.Sink.enabled () then begin
+    Telemetry.Span.count "ladder.rungs_fallen"
+      (List.length outcome.diagnostics);
+    Telemetry.Span.count ("ladder.held." ^ rung_name outcome.rung) 1
+  end;
+  outcome

@@ -72,3 +72,6 @@ let access (c : t) ~addr ~size : bool =
 let hit_rate c =
   let total = c.hits + c.misses in
   if total = 0 then 1.0 else float_of_int c.hits /. float_of_int total
+
+let hits c = c.hits
+let misses c = c.misses

@@ -16,3 +16,8 @@ val access : t -> addr:int -> size:int -> bool
 
 (** Fraction of line touches that hit; 1.0 when empty. *)
 val hit_rate : t -> float
+
+(** Raw line-touch counters behind {!hit_rate} (telemetry feeds). *)
+val hits : t -> int
+
+val misses : t -> int

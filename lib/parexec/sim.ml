@@ -97,7 +97,19 @@ type seq_result = {
   sq_total : int;
   sq_loop : (Ast.lid * int) list;  (** cycles inside each target loop *)
   sq_peak : int;
+  sq_cache_stall : int;
+      (** cache-penalty cycles charged inside the target loops *)
 }
+
+(* Simulated-time offset for trace spans: each measured run appends to
+   one shared timeline so a multi-run session (original, expanded,
+   parallel) exports as consecutive, non-overlapping trace regions.
+   Advancing is deterministic (run order and cycle counts are), so the
+   byte-identical-trace contract holds. *)
+let trace_epoch = ref 0
+let reset_trace_epoch () = trace_epoch := 0
+
+let loop_span_name (lid : Ast.lid) = Printf.sprintf "loop %d" lid
 
 (** Run a program sequentially under the cache model; the baseline for
     speedups. *)
@@ -113,12 +125,19 @@ let run_sequential ?(machine = default_machine) ?attach (prog : Ast.program)
     Cache.create ~size_bytes:machine.llc_bytes ~assoc:machine.llc_assoc
       ~line_bytes:machine.line_bytes
   in
+  let in_loop = ref 0 in
+  let cache_stall = ref 0 in
   st.Interp.Machine.access_extra <-
     Some
       (fun _kind addr size ->
-        if Cache.access l1 ~addr ~size then 0
-        else if Cache.access llc ~addr ~size then machine.llc_extra
-        else machine.dram_extra);
+        let extra =
+          if Cache.access l1 ~addr ~size then 0
+          else if Cache.access llc ~addr ~size then machine.llc_extra
+          else machine.dram_extra
+        in
+        if !in_loop > 0 then cache_stall := !cache_stall + extra;
+        extra);
+  let base = !trace_epoch in
   let loop_cycles = Hashtbl.create 4 in
   let enter_at = Hashtbl.create 4 in
   st.Interp.Machine.loop_hook <-
@@ -127,9 +146,17 @@ let run_sequential ?(machine = default_machine) ?attach (prog : Ast.program)
         if List.mem lid lids then
           match ev with
           | Interp.Machine.Enter ->
+            incr in_loop;
+            Telemetry.Span.sim_begin ~cat:"loop" ~tid:(-1)
+              ~ts:(base + st.Interp.Machine.cycles)
+              (loop_span_name lid);
             Hashtbl.replace enter_at lid st.Interp.Machine.cycles
           | Interp.Machine.Iter _ -> ()
           | Interp.Machine.Exit ->
+            in_loop := max 0 (!in_loop - 1);
+            Telemetry.Span.sim_end ~tid:(-1)
+              ~ts:(base + st.Interp.Machine.cycles)
+              (loop_span_name lid);
             let d =
               st.Interp.Machine.cycles - Hashtbl.find enter_at lid
             in
@@ -137,6 +164,21 @@ let run_sequential ?(machine = default_machine) ?attach (prog : Ast.program)
               (d + Option.value ~default:0 (Hashtbl.find_opt loop_cycles lid)));
   (match attach with Some f -> f m | None -> ());
   let exit_code = Interp.Machine.run m in
+  trace_epoch := base + st.Interp.Machine.cycles + 1;
+  if Telemetry.Sink.enabled () then begin
+    let count = Telemetry.Span.count in
+    count "seq.l1_hits" (Cache.hits l1);
+    count "seq.l1_misses" (Cache.misses l1);
+    count "seq.llc_hits" (Cache.hits llc);
+    count "seq.llc_misses" (Cache.misses llc);
+    count "seq.cache_stall_cycles" !cache_stall;
+    count "seq.loads" st.Interp.Machine.stats.Interp.Machine.n_loads;
+    count "seq.stores" st.Interp.Machine.stats.Interp.Machine.n_stores;
+    count "seq.allocs" (Interp.Memory.alloc_count st.Interp.Machine.mem);
+    count "seq.total_cycles" st.Interp.Machine.cycles;
+    Telemetry.Span.observe "seq.peak_bytes"
+      (Interp.Memory.peak_bytes st.Interp.Machine.mem)
+  end;
   {
     sq_output = Interp.Machine.output st;
     sq_exit = exit_code;
@@ -146,6 +188,7 @@ let run_sequential ?(machine = default_machine) ?attach (prog : Ast.program)
         (fun l -> (l, Option.value ~default:0 (Hashtbl.find_opt loop_cycles l)))
         lids;
     sq_peak = Interp.Memory.peak_bytes st.Interp.Machine.mem;
+    sq_cache_stall = !cache_stall;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -178,6 +221,8 @@ type par_result = {
           the runtime-privatization baseline allocates one copy per
           extra thread of exactly this *)
   pr_dram_bytes : int;  (** DRAM traffic inside the target loops *)
+  pr_cache_stall : int;
+      (** cache-penalty cycles charged inside the target loops *)
 }
 
 (* The simulator only needs the expansion runtime globals' names, so
@@ -226,6 +271,7 @@ type thread_ctx = {
 
 type active_loop = {
   spec : loop_spec;
+  trace_base : int;  (** simulated-timeline offset of this invocation *)
   mutable invocation : int;
   mutable seg_start : int;  (** st.cycles at current iteration start *)
   mutable cur_thread : int;
@@ -277,18 +323,27 @@ let run_parallel ?(machine = default_machine) ?rp ?attach (prog : Ast.program)
   let cum_busy = Array.make threads 0 in
   let cum_sync = Array.make threads 0 in
   let cur_cache_thread = ref 0 in
+  let cache_stall = ref 0 in
+  let stall_events = ref 0 in
+  let rp_resolves = ref 0 in
+  let rp_commit_total = ref 0 in
+  let cursor = ref !trace_epoch in
   st.Interp.Machine.access_extra <-
     Some
       (fun _kind addr size ->
         let t = tctx.(!cur_cache_thread) in
-        if Cache.access t.l1 ~addr ~size then 0
-        else if Cache.access t.llc_slice ~addr ~size then machine.llc_extra
-        else begin
-          (match !active with
-          | Some al -> al.dram_bytes <- al.dram_bytes + machine.line_bytes
-          | None -> ());
-          machine.dram_extra
-        end);
+        let extra =
+          if Cache.access t.l1 ~addr ~size then 0
+          else if Cache.access t.llc_slice ~addr ~size then machine.llc_extra
+          else begin
+            (match !active with
+            | Some al -> al.dram_bytes <- al.dram_bytes + machine.line_bytes
+            | None -> ());
+            machine.dram_extra
+          end
+        in
+        if Option.is_some !active then cache_stall := !cache_stall + extra;
+        extra);
   (* observer tracks the serial window of the running iteration and,
      for the runtime-privatization baseline, charges the access-control
      library on monitored accesses *)
@@ -304,8 +359,11 @@ let run_parallel ?(machine = default_machine) ?rp ?attach (prog : Ast.program)
             st.Interp.Machine.cycles + rp.rp_resolve_cost;
           (* 8-byte granules bound the touched-set accounting *)
           Hashtbl.replace rp_touched (addr lsr 3) ();
-          if kind = Visit.Store then
-            iter_commit_bytes := !iter_commit_bytes + size
+          incr rp_resolves;
+          if kind = Visit.Store then begin
+            iter_commit_bytes := !iter_commit_bytes + size;
+            rp_commit_total := !rp_commit_total + size
+          end
         | _ -> ());
         match !active with
         | Some al -> (
@@ -365,6 +423,20 @@ let run_parallel ?(machine = default_machine) ?rp ?attach (prog : Ast.program)
         al.chan_last_access;
       Hashtbl.reset al.chan_first;
       Hashtbl.reset al.chan_last_access;
+      if wait > 0 then incr stall_events;
+      if Telemetry.Sink.enabled () then begin
+        (* per-thread trace slices on the invocation's simulated
+           timeline: the post/wait stall, then the iteration body *)
+        let tb = al.trace_base + Interp.Cost.gomp_fork in
+        let tid = al.cur_thread in
+        if wait > 0 then begin
+          Telemetry.Span.sim_begin ~cat:"sync" ~tid ~ts:(tb + start) "wait";
+          Telemetry.Span.sim_end ~tid ~ts:(tb + start + wait) "wait"
+        end;
+        let nm = Printf.sprintf "iter %d" al.cur_iter in
+        Telemetry.Span.sim_begin ~cat:"iter" ~tid ~ts:(tb + start + wait) nm;
+        Telemetry.Span.sim_end ~tid ~ts:(tb + start + wait + d) nm
+      end;
       t.busy <- t.busy + d;
       t.sync <- t.sync + wait;
       t.free_at <- start + d + wait
@@ -412,10 +484,13 @@ let run_parallel ?(machine = default_machine) ?rp ?attach (prog : Ast.program)
                 t.busy <- 0;
                 t.sync <- 0)
               tctx;
+            Telemetry.Span.sim_begin ~cat:"loop" ~tid:(-1) ~ts:!cursor
+              (loop_span_name lid);
             active :=
               Some
                 {
                   spec;
+                  trace_base = !cursor;
                   invocation;
                   seg_start = st.Interp.Machine.cycles;
                   cur_thread = 0;
@@ -446,18 +521,32 @@ let run_parallel ?(machine = default_machine) ?rp ?attach (prog : Ast.program)
               cur_cache_thread := 0;
               Interp.Machine.set_global_int st Names.tid 0;
               (* makespan + shared bandwidth bound *)
-              let makespan =
+              let work_span =
                 Array.fold_left (fun acc t -> max acc t.free_at) 0 tctx
               in
               let bw_time =
                 int_of_float
                   (float_of_int al.dram_bytes /. machine.bw_bytes_per_cycle)
               in
-              let makespan = max makespan bw_time in
+              let makespan = max work_span bw_time in
               let fork = Interp.Cost.gomp_fork
               and barrier = Interp.Cost.gomp_barrier in
               overhead := !overhead + fork + (barrier * threads);
               let sim_time = fork + makespan + barrier in
+              if Telemetry.Sink.enabled () then begin
+                Telemetry.Span.sim_end ~tid:(-1)
+                  ~ts:(al.trace_base + sim_time)
+                  (loop_span_name lid);
+                Telemetry.Span.count
+                  (Printf.sprintf "par.loop.%d.cycles" lid)
+                  sim_time;
+                Telemetry.Span.count
+                  (Printf.sprintf "par.loop.%d.iterations" lid)
+                  al.cur_iter;
+                Telemetry.Span.count "par.dram_bound_cycles"
+                  (max 0 (bw_time - work_span))
+              end;
+              cursor := al.trace_base + sim_time + 1;
               let bump tbl v =
                 Hashtbl.replace tbl lid
                   (v + Option.value ~default:0 (Hashtbl.find_opt tbl lid))
@@ -478,10 +567,33 @@ let run_parallel ?(machine = default_machine) ?rp ?attach (prog : Ast.program)
      the count_iterations pre-run is deliberately left unattached *)
   (match attach with Some f -> f m | None -> ());
   let exit_code = Interp.Machine.run m in
+  trace_epoch := !cursor + 1;
   let measured_total = st.Interp.Machine.cycles in
   (* simulated total = measured total with each target loop's measured
      execution replaced by its simulated parallel time *)
   let sum tbl = Hashtbl.fold (fun _ d acc -> acc + d) tbl 0 in
+  if Telemetry.Sink.enabled () then begin
+    let count = Telemetry.Span.count in
+    let sum_cache f = Array.fold_left (fun acc t -> acc + f t) 0 tctx in
+    count "par.l1_hits" (sum_cache (fun t -> Cache.hits t.l1));
+    count "par.l1_misses" (sum_cache (fun t -> Cache.misses t.l1));
+    count "par.llc_hits" (sum_cache (fun t -> Cache.hits t.llc_slice));
+    count "par.llc_misses" (sum_cache (fun t -> Cache.misses t.llc_slice));
+    count "par.cache_stall_cycles" !cache_stall;
+    count "par.sync_wait_cycles" (Array.fold_left ( + ) 0 cum_sync);
+    count "par.post_wait_stalls" !stall_events;
+    count "par.idle_cycles" (Array.fold_left ( + ) 0 idle);
+    count "par.gomp_overhead_cycles" !overhead;
+    count "par.dram_bytes" !total_dram;
+    count "par.rp_resolved_accesses" !rp_resolves;
+    count "par.rp_commit_bytes" !rp_commit_total;
+    count "par.loads" st.Interp.Machine.stats.Interp.Machine.n_loads;
+    count "par.stores" st.Interp.Machine.stats.Interp.Machine.n_stores;
+    count "par.allocs" (Interp.Memory.alloc_count st.Interp.Machine.mem);
+    count "par.total_cycles" (measured_total - sum loop_measured + sum loop_sim);
+    Telemetry.Span.observe "par.peak_bytes"
+      (Interp.Memory.peak_bytes st.Interp.Machine.mem)
+  end;
   {
     pr_threads = threads;
     pr_output = Interp.Machine.output st;
@@ -499,6 +611,7 @@ let run_parallel ?(machine = default_machine) ?rp ?attach (prog : Ast.program)
     pr_peak = Interp.Memory.peak_bytes st.Interp.Machine.mem;
     pr_rp_touched_bytes = 8 * Hashtbl.length rp_touched;
     pr_dram_bytes = !total_dram;
+    pr_cache_stall = !cache_stall;
     pr_iterations =
       List.map
         (fun l ->

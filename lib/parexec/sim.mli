@@ -41,12 +41,21 @@ type machine_params = {
 
 val default_machine : machine_params
 
+(** Rewind the simulated trace timeline to 0. Measured runs append
+    their telemetry spans to one shared simulated timeline (so a
+    multi-run session exports consecutive trace regions); resetting it
+    makes a fresh logical session start at cycle 0 — used by tests
+    asserting byte-identical traces across repeated runs. *)
+val reset_trace_epoch : unit -> unit
+
 type seq_result = {
   sq_output : string;
   sq_exit : int;
   sq_total : int;
   sq_loop : (Ast.lid * int) list;  (** cycles inside each target loop *)
   sq_peak : int;
+  sq_cache_stall : int;
+      (** cache-penalty cycles charged inside the target loops *)
 }
 
 (** Run a program sequentially under the cache model; the baseline for
@@ -86,6 +95,8 @@ type par_result = {
           runtime-privatization baseline allocates one copy per extra
           thread of exactly this *)
   pr_dram_bytes : int;  (** DRAM traffic inside the target loops *)
+  pr_cache_stall : int;
+      (** cache-penalty cycles charged inside the target loops *)
 }
 
 (** Simulate a parallel run of an expanded program (one reading

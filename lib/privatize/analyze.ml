@@ -17,13 +17,26 @@ let analyze (prog : Ast.program) (lid : Ast.lid) : result =
     | None -> invalid_arg (Printf.sprintf "analyze: no loop with id %d" lid)
   in
   let profile = Depgraph.Profiler.profile prog lid in
-  let induction_vars = Induction.find prog loop_stmt in
-  let induction =
-    Induction.access_ids_of_vars
-      profile.Depgraph.Profiler.graph.Depgraph.Graph.sites prog loop_stmt
-      induction_vars
+  let induction_vars, classification =
+    Telemetry.Span.wall "phase.classify" @@ fun () ->
+    let induction_vars = Induction.find prog loop_stmt in
+    let induction =
+      Induction.access_ids_of_vars
+        profile.Depgraph.Profiler.graph.Depgraph.Graph.sites prog loop_stmt
+        induction_vars
+    in
+    let classification =
+      Classify.classify ~induction profile.Depgraph.Profiler.graph
+    in
+    (induction_vars, classification)
   in
-  let classification =
-    Classify.classify ~induction profile.Depgraph.Profiler.graph
-  in
+  if Telemetry.Sink.enabled () then begin
+    let tally v =
+      List.length
+        (List.filter (fun (_, v', _) -> v' = v) classification.Classify.classes)
+    in
+    Telemetry.Span.count "classify.classes.private" (tally Classify.Private);
+    Telemetry.Span.count "classify.classes.shared" (tally Classify.Shared);
+    Telemetry.Span.count "classify.classes.induction" (tally Classify.Induction)
+  end;
   { profile; classification; induction_vars; loop_stmt; loop_fun }

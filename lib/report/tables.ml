@@ -45,6 +45,79 @@ let render ~(header : string list) (rows : string list list) : string =
 let fx f = Printf.sprintf "%.2f" f
 let pct f = Printf.sprintf "%.1f%%" (100.0 *. f)
 
+(** Where a parallel run's cycles went, aggregated over threads. The
+    single row type every report shares — Figure 12, the metrics
+    table, and the experiments binary's cost attribution all render
+    from it instead of carrying ad-hoc tuples. *)
+type cycles_breakdown = {
+  cb_compute : int;  (** useful work also present in the sequential run *)
+  cb_cache : int;  (** cache-penalty stall cycles (L1/LLC misses) *)
+  cb_sync : int;  (** DOACROSS post/wait stall cycles *)
+  cb_priv : int;  (** privatization overhead: extra work vs sequential *)
+  cb_idle : int;  (** barrier / load-imbalance idle cycles *)
+  cb_runtime : int;  (** GOMP fork/dispatch/barrier cycles *)
+}
+
+let breakdown_total cb =
+  cb.cb_compute + cb.cb_cache + cb.cb_sync + cb.cb_priv + cb.cb_idle
+  + cb.cb_runtime
+
+let breakdown_header =
+  [ "compute"; "cache stall"; "sync wait"; "privatization"; "idle"; "runtime" ]
+
+(** Six percentage cells, in [breakdown_header] order. *)
+let breakdown_cells cb : string list =
+  let total = max 1 (breakdown_total cb) in
+  let p n = pct (float_of_int n /. float_of_int total) in
+  [
+    p cb.cb_compute; p cb.cb_cache; p cb.cb_sync; p cb.cb_priv; p cb.cb_idle;
+    p cb.cb_runtime;
+  ]
+
+(** One row of the [--metrics] report: a workload's speedups plus its
+    cycle attribution at a given thread count. *)
+type metrics_row = {
+  m_workload : string;
+  m_threads : int;
+  m_loop_speedup : float;
+  m_total_speedup : float;
+  m_breakdown : cycles_breakdown;
+}
+
+let metrics_table (rows : metrics_row list) : string =
+  let cells r =
+    [
+      r.m_workload;
+      string_of_int r.m_threads;
+      fx r.m_loop_speedup;
+      fx r.m_total_speedup;
+    ]
+    @ breakdown_cells r.m_breakdown
+  in
+  let summary =
+    if List.length rows < 2 then []
+    else
+      [
+        [
+          "harmonic mean";
+          "";
+          fx (harmonic_mean (List.map (fun r -> r.m_loop_speedup) rows));
+          fx (harmonic_mean (List.map (fun r -> r.m_total_speedup) rows));
+        ]
+        @ List.map (fun _ -> "") breakdown_header;
+      ]
+  in
+  render
+    ~header:
+      ([ "workload"; "threads"; "loop speedup"; "total speedup" ]
+      @ breakdown_header)
+    (List.map cells rows @ summary)
+
+(** Render an aggregator's counters as a two-column table. *)
+let counters_table (counters : (string * int) list) : string =
+  render ~header:[ "counter"; "value" ]
+    (List.map (fun (k, v) -> [ k; string_of_int v ]) counters)
+
 (** One row of the degradation-ladder / fault-campaign report. *)
 type ladder_row = {
   lr_workload : string;

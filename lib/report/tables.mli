@@ -14,6 +14,44 @@ val fx : float -> string
 (** [pct 0.427] is ["42.7%"]. *)
 val pct : float -> string
 
+(** Where a parallel run's cycles went, aggregated over threads. The
+    single row type every report shares — Figure 12, the metrics
+    table, and the experiments binary's cost attribution all render
+    from it instead of carrying ad-hoc tuples. *)
+type cycles_breakdown = {
+  cb_compute : int;  (** useful work also present in the sequential run *)
+  cb_cache : int;  (** cache-penalty stall cycles (L1/LLC misses) *)
+  cb_sync : int;  (** DOACROSS post/wait stall cycles *)
+  cb_priv : int;  (** privatization overhead: extra work vs sequential *)
+  cb_idle : int;  (** barrier / load-imbalance idle cycles *)
+  cb_runtime : int;  (** GOMP fork/dispatch/barrier cycles *)
+}
+
+val breakdown_total : cycles_breakdown -> int
+
+(** Column titles matching {!breakdown_cells}. *)
+val breakdown_header : string list
+
+(** Six percentage cells, in [breakdown_header] order. *)
+val breakdown_cells : cycles_breakdown -> string list
+
+(** One row of the [--metrics] report: a workload's speedups plus its
+    cycle attribution at a given thread count. *)
+type metrics_row = {
+  m_workload : string;
+  m_threads : int;
+  m_loop_speedup : float;
+  m_total_speedup : float;
+  m_breakdown : cycles_breakdown;
+}
+
+(** Render metrics rows; appends a harmonic-mean summary row over the
+    speedup columns when there are at least two rows. *)
+val metrics_table : metrics_row list -> string
+
+(** Render an aggregator's counters as a two-column table. *)
+val counters_table : (string * int) list -> string
+
 (** One row of the degradation-ladder / fault-campaign report. *)
 type ladder_row = {
   lr_workload : string;

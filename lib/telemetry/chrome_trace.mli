@@ -1,0 +1,17 @@
+(** Chrome [trace_event] exporter (Perfetto / chrome://tracing
+    loadable). Each simulated thread gets its own pseudo-pid so
+    DOACROSS post/wait stalls are visible per thread; wall-clock
+    (toolchain) events are re-timed onto a deterministic logical tick
+    line so traces are byte-identical across runs with the same seed.
+    B/E events are balanced by construction (leftover spans are closed
+    at export). *)
+
+type t
+
+val create : unit -> t
+val sink : t -> Sink.t
+
+(** Render the collected events as a Chrome trace JSON object. *)
+val export : t -> string
+
+val write : t -> string -> unit

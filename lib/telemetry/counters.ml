@@ -1,0 +1,130 @@
+(** In-memory aggregation sink: counters, histograms, span totals.
+
+    The aggregate is exposed as a canonical {!snapshot} — assoc lists
+    sorted by key with unique keys — so that {!merge} is associative
+    and commutative with {!empty} as the neutral element (asserted by
+    qcheck laws in the test suite). That matters operationally:
+    per-shard or per-run aggregates can be combined in any order and
+    still report the same totals. *)
+
+type hist = { h_count : int; h_sum : int; h_min : int; h_max : int }
+
+type span_total = { s_count : int; s_total : int }
+
+type snapshot = {
+  counters : (string * int) list;
+  histograms : (string * hist) list;
+  spans : (string * span_total) list;
+      (** keyed ["wall:<name>"] / ["sim:<name>"]; totals are ns for
+          wall spans and simulated cycles for sim spans *)
+}
+
+let empty = { counters = []; histograms = []; spans = [] }
+
+module SMap = Map.Make (String)
+
+let to_sorted (m : 'a SMap.t) : (string * 'a) list = SMap.bindings m
+
+let merge_assoc (combine : 'a -> 'a -> 'a) (xs : (string * 'a) list)
+    (ys : (string * 'a) list) : (string * 'a) list =
+  let add m (k, v) =
+    SMap.update k
+      (function None -> Some v | Some v0 -> Some (combine v0 v))
+      m
+  in
+  to_sorted (List.fold_left add (List.fold_left add SMap.empty xs) ys)
+
+let merge_hist (a : hist) (b : hist) : hist =
+  {
+    h_count = a.h_count + b.h_count;
+    h_sum = a.h_sum + b.h_sum;
+    h_min = min a.h_min b.h_min;
+    h_max = max a.h_max b.h_max;
+  }
+
+let merge_span (a : span_total) (b : span_total) : span_total =
+  { s_count = a.s_count + b.s_count; s_total = a.s_total + b.s_total }
+
+let merge (a : snapshot) (b : snapshot) : snapshot =
+  {
+    counters = merge_assoc ( + ) a.counters b.counters;
+    histograms = merge_assoc merge_hist a.histograms b.histograms;
+    spans = merge_assoc merge_span a.spans b.spans;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The live aggregator                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  cs : (string, int) Hashtbl.t;
+  hs : (string, hist) Hashtbl.t;
+  sp : (string, span_total) Hashtbl.t;
+  open_spans : (Event.clock * int, (string * int) list) Hashtbl.t;
+      (** per (clock, tid): stack of (name, begin ts) *)
+}
+
+let create () : t =
+  {
+    cs = Hashtbl.create 64;
+    hs = Hashtbl.create 16;
+    sp = Hashtbl.create 16;
+    open_spans = Hashtbl.create 8;
+  }
+
+let bump_counter (a : t) (name : string) (delta : int) : unit =
+  Hashtbl.replace a.cs name
+    (delta + Option.value ~default:0 (Hashtbl.find_opt a.cs name))
+
+let observe (a : t) (name : string) (value : int) : unit =
+  let h =
+    match Hashtbl.find_opt a.hs name with
+    | None -> { h_count = 1; h_sum = value; h_min = value; h_max = value }
+    | Some h ->
+      {
+        h_count = h.h_count + 1;
+        h_sum = h.h_sum + value;
+        h_min = min h.h_min value;
+        h_max = max h.h_max value;
+      }
+  in
+  Hashtbl.replace a.hs name h
+
+let span_key clock name = Event.clock_name clock ^ ":" ^ name
+
+let add_span (a : t) (key : string) (dur : int) : unit =
+  let s =
+    match Hashtbl.find_opt a.sp key with
+    | None -> { s_count = 1; s_total = dur }
+    | Some s -> { s_count = s.s_count + 1; s_total = s.s_total + dur }
+  in
+  Hashtbl.replace a.sp key s
+
+let on_event (a : t) (e : Event.t) : unit =
+  match e with
+  | Event.Count { name; delta } -> bump_counter a name delta
+  | Event.Observe { name; value } -> observe a name value
+  | Event.Span_begin { name; clock; tid; ts; _ } ->
+    let k = (clock, tid) in
+    let stack = Option.value ~default:[] (Hashtbl.find_opt a.open_spans k) in
+    Hashtbl.replace a.open_spans k ((name, ts) :: stack)
+  | Event.Span_end { name; clock; tid; ts; _ } -> (
+    let k = (clock, tid) in
+    match Hashtbl.find_opt a.open_spans k with
+    | Some ((n0, ts0) :: rest) when n0 = name ->
+      Hashtbl.replace a.open_spans k rest;
+      add_span a (span_key clock name) (max 0 (ts - ts0))
+    | _ ->
+      (* unmatched end: attribute a zero-length occurrence rather than
+         corrupting the nesting stack *)
+      add_span a (span_key clock name) 0)
+  | Event.Instant _ -> ()
+
+let sink (a : t) : Sink.t = { Sink.emit = on_event a; flush = (fun () -> ()) }
+
+let snapshot (a : t) : snapshot =
+  let sorted tbl =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+    |> List.sort (fun (k1, _) (k2, _) -> compare k1 k2)
+  in
+  { counters = sorted a.cs; histograms = sorted a.hs; spans = sorted a.sp }

@@ -1,0 +1,29 @@
+(** In-memory aggregation sink: counters, histograms and span totals,
+    exposed as canonical snapshots whose {!merge} is associative and
+    commutative with {!empty} as neutral element (qcheck-asserted), so
+    per-run aggregates combine in any order. *)
+
+type hist = { h_count : int; h_sum : int; h_min : int; h_max : int }
+type span_total = { s_count : int; s_total : int }
+
+(** Canonical: assoc lists sorted by key, keys unique. *)
+type snapshot = {
+  counters : (string * int) list;
+  histograms : (string * hist) list;
+  spans : (string * span_total) list;
+      (** keyed ["wall:<name>"] / ["sim:<name>"]; totals in ns (wall)
+          or simulated cycles (sim) *)
+}
+
+val empty : snapshot
+val merge : snapshot -> snapshot -> snapshot
+
+type t
+
+val create : unit -> t
+
+(** The aggregator as a sink (combine with {!Sink.tee} to also stream
+    or trace the same events). *)
+val sink : t -> Sink.t
+
+val snapshot : t -> snapshot

@@ -1,0 +1,65 @@
+(** The telemetry event model.
+
+    Two span clocks keep traces deterministic (see DESIGN.md §8):
+
+    - [Wall] spans time toolchain phases (parse, profile, classify,
+      plan, expand) against the host clock. Their {e durations} feed
+      the metrics report only; trace exporters replace their
+      timestamps with a logical tick so trace files never depend on
+      host timing.
+    - [Sim] spans carry {e simulated-cycle} timestamps from the
+      parallel-execution simulator. They are deterministic by
+      construction and are exported verbatim.
+
+    [tid] is the simulated thread for [Sim] events ([-1] denotes the
+    simulator's own loop-level track) and ignored for [Wall] events.
+    Counters and histogram observations are clockless: they aggregate
+    order-independently (see {!Counters.merge}). *)
+
+type clock = Wall | Sim
+
+type t =
+  | Span_begin of {
+      name : string;
+      cat : string;
+      clock : clock;
+      tid : int;
+      ts : int;  (** ns for [Wall], simulated cycles for [Sim] *)
+    }
+  | Span_end of { name : string; clock : clock; tid : int; ts : int }
+  | Instant of { name : string; cat : string; clock : clock; tid : int; ts : int }
+  | Count of { name : string; delta : int }
+  | Observe of { name : string; value : int }
+
+let clock_name = function Wall -> "wall" | Sim -> "sim"
+
+(** One-object JSON rendering, shared by the JSONL sink. *)
+let to_json (e : t) : Json.t =
+  match e with
+  | Span_begin { name; cat; clock; tid; ts } ->
+    Json.Obj
+      [
+        ("ev", Json.Str "B"); ("name", Json.Str name); ("cat", Json.Str cat);
+        ("clock", Json.Str (clock_name clock)); ("tid", Json.Int tid);
+        ("ts", Json.Int ts);
+      ]
+  | Span_end { name; clock; tid; ts } ->
+    Json.Obj
+      [
+        ("ev", Json.Str "E"); ("name", Json.Str name);
+        ("clock", Json.Str (clock_name clock)); ("tid", Json.Int tid);
+        ("ts", Json.Int ts);
+      ]
+  | Instant { name; cat; clock; tid; ts } ->
+    Json.Obj
+      [
+        ("ev", Json.Str "I"); ("name", Json.Str name); ("cat", Json.Str cat);
+        ("clock", Json.Str (clock_name clock)); ("tid", Json.Int tid);
+        ("ts", Json.Int ts);
+      ]
+  | Count { name; delta } ->
+    Json.Obj
+      [ ("ev", Json.Str "C"); ("name", Json.Str name); ("delta", Json.Int delta) ]
+  | Observe { name; value } ->
+    Json.Obj
+      [ ("ev", Json.Str "O"); ("name", Json.Str name); ("value", Json.Int value) ]

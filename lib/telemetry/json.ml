@@ -1,0 +1,74 @@
+(** Minimal JSON construction with deterministic serialization.
+
+    Telemetry must stay dependency-free, so the exporters (JSONL,
+    Chrome trace, metrics, BENCH_results) share this tiny value type
+    instead of pulling in a JSON library. Serialization is fully
+    deterministic: object fields print in the order given, floats use
+    a fixed shortest-ish format, and non-finite floats become [null]
+    (JSON has no representation for them). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape_to (buf : Buffer.t) (s : string) : unit =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let rec to_buffer (buf : Buffer.t) (v : t) : unit =
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+    if Float.is_finite f then begin
+      (* integral floats print as N.0 so the value stays a JSON number
+         readers parse as float; %.17g would be noisy, %g loses
+         precision — 12 significant digits is plenty for timings *)
+      let s = Printf.sprintf "%.12g" f in
+      Buffer.add_string buf
+        (if String.contains s '.' || String.contains s 'e' then s
+         else s ^ ".0")
+    end
+    else Buffer.add_string buf "null"
+  | Str s -> escape_to buf s
+  | List xs ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char buf ',';
+        to_buffer buf x)
+      xs;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, x) ->
+        if i > 0 then Buffer.add_char buf ',';
+        escape_to buf k;
+        Buffer.add_char buf ':';
+        to_buffer buf x)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string (v : t) : string =
+  let buf = Buffer.create 256 in
+  to_buffer buf v;
+  Buffer.contents buf

@@ -1,0 +1,16 @@
+(** Minimal JSON construction with deterministic serialization (object
+    fields keep the order given; non-finite floats serialize as
+    [null]). Shared by the JSONL, Chrome-trace, metrics and benchmark
+    exporters so the telemetry library stays dependency-free. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_buffer : Buffer.t -> t -> unit
+val to_string : t -> string

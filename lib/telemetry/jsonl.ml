@@ -1,0 +1,25 @@
+(** JSONL event stream: one JSON object per line, in emission order.
+
+    The raw firehose for offline analysis (grep/jq-friendly). Unlike
+    the Chrome exporter this stream preserves wall-clock timestamps,
+    so it is {e not} covered by the byte-identical-trace contract. *)
+
+type t = { buf : Buffer.t }
+
+let create () : t = { buf = Buffer.create 4096 }
+
+let sink (j : t) : Sink.t =
+  {
+    Sink.emit =
+      (fun e ->
+        Json.to_buffer j.buf (Event.to_json e);
+        Buffer.add_char j.buf '\n');
+    flush = (fun () -> ());
+  }
+
+let contents (j : t) : string = Buffer.contents j.buf
+
+let write (j : t) (path : string) : unit =
+  let oc = open_out_bin path in
+  Buffer.output_buffer oc j.buf;
+  close_out oc

@@ -1,0 +1,10 @@
+(** JSONL event stream sink: one JSON object per line, in emission
+    order. Preserves wall-clock timestamps, so it is a debugging
+    stream, not part of the deterministic-trace contract. *)
+
+type t
+
+val create : unit -> t
+val sink : t -> Sink.t
+val contents : t -> string
+val write : t -> string -> unit

@@ -1,0 +1,35 @@
+(** Metrics snapshot rendering: the JSON form of an aggregated
+    {!Counters.snapshot} (the ASCII table lives in [Report.Tables],
+    which owns all human-facing table formatting). *)
+
+let hist_json (h : Counters.hist) : Json.t =
+  Json.Obj
+    [
+      ("count", Json.Int h.Counters.h_count);
+      ("sum", Json.Int h.Counters.h_sum);
+      ("min", Json.Int h.Counters.h_min);
+      ("max", Json.Int h.Counters.h_max);
+    ]
+
+let span_json (s : Counters.span_total) : Json.t =
+  Json.Obj
+    [
+      ("count", Json.Int s.Counters.s_count);
+      ("total", Json.Int s.Counters.s_total);
+    ]
+
+let to_json (s : Counters.snapshot) : Json.t =
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj
+          (List.map (fun (k, v) -> (k, Json.Int v)) s.Counters.counters) );
+      ( "histograms",
+        Json.Obj
+          (List.map (fun (k, h) -> (k, hist_json h)) s.Counters.histograms) );
+      ( "spans",
+        Json.Obj (List.map (fun (k, v) -> (k, span_json v)) s.Counters.spans)
+      );
+    ]
+
+let to_string (s : Counters.snapshot) : string = Json.to_string (to_json s)

@@ -1,0 +1,6 @@
+(** JSON rendering of an aggregated metrics snapshot (used by
+    [dsexpand --metrics --metrics-format json]; ASCII tables live in
+    [Report.Tables]). *)
+
+val to_json : Counters.snapshot -> Json.t
+val to_string : Counters.snapshot -> string

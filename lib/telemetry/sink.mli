@@ -1,0 +1,26 @@
+(** Pluggable event sinks and the process-global default sink.
+
+    Telemetry is off by default: with no sink installed, {!emit} is a
+    no-op and {!enabled} is [false], so instrumentation points guard
+    event construction behind a single ref read and branch. *)
+
+type t = { emit : Event.t -> unit; flush : unit -> unit }
+
+(** Swallows everything. *)
+val null : t
+
+(** Broadcast to several sinks (e.g. aggregator + trace collector). *)
+val tee : t list -> t
+
+(** Install/remove the process-global sink. {!clear} flushes first. *)
+val install : t -> unit
+
+val clear : unit -> unit
+val enabled : unit -> bool
+
+(** Emit to the global sink; no-op when none is installed. *)
+val emit : Event.t -> unit
+
+(** Run [f] with [s] installed, restoring the previous sink after
+    (flushing [s] on the way out); exception-safe. *)
+val with_sink : t -> (unit -> 'a) -> 'a

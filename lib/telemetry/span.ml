@@ -1,0 +1,42 @@
+(** Convenience emitters used at instrumentation points. Every helper
+    short-circuits on {!Sink.enabled} before allocating anything. *)
+
+(* Host time in integer nanoseconds. [Sys.time] is the only stdlib
+   clock; its CPU-time semantics are fine for phase attribution (the
+   toolchain is single-threaded and compute-bound). Wall timestamps
+   never reach trace files — exporters substitute a logical tick — so
+   resolution and monotonicity quirks cannot break determinism. *)
+let now_ns () : int = int_of_float (Sys.time () *. 1e9)
+
+let wall ?(cat = "phase") (name : string) (f : unit -> 'a) : 'a =
+  if not (Sink.enabled ()) then f ()
+  else begin
+    Sink.emit
+      (Event.Span_begin
+         { name; cat; clock = Event.Wall; tid = 0; ts = now_ns () });
+    Fun.protect
+      ~finally:(fun () ->
+        Sink.emit
+          (Event.Span_end { name; clock = Event.Wall; tid = 0; ts = now_ns () }))
+      f
+  end
+
+let sim_begin ?(cat = "sim") ~(tid : int) ~(ts : int) (name : string) : unit =
+  if Sink.enabled () then
+    Sink.emit (Event.Span_begin { name; cat; clock = Event.Sim; tid; ts })
+
+let sim_end ~(tid : int) ~(ts : int) (name : string) : unit =
+  if Sink.enabled () then
+    Sink.emit (Event.Span_end { name; clock = Event.Sim; tid; ts })
+
+let sim_instant ?(cat = "sim") ~(tid : int) ~(ts : int) (name : string) : unit
+    =
+  if Sink.enabled () then
+    Sink.emit (Event.Instant { name; cat; clock = Event.Sim; tid; ts })
+
+let count (name : string) (delta : int) : unit =
+  if Sink.enabled () && delta <> 0 then
+    Sink.emit (Event.Count { name; delta })
+
+let observe (name : string) (value : int) : unit =
+  if Sink.enabled () then Sink.emit (Event.Observe { name; value })

@@ -1,0 +1,23 @@
+(** Convenience emitters used at instrumentation points. Every helper
+    short-circuits on {!Sink.enabled} before building its event, so
+    disabled telemetry costs one ref read and a branch. *)
+
+(** Host time in integer nanoseconds (never exported to traces). *)
+val now_ns : unit -> int
+
+(** Time [f] as a wall-clock span named [name]; exception-safe. When
+    telemetry is disabled this is exactly [f ()]. *)
+val wall : ?cat:string -> string -> (unit -> 'a) -> 'a
+
+(** Simulated-cycle span edges, emitted by the parallel simulator.
+    [tid] is the simulated thread; [-1] is the loop-level track. *)
+val sim_begin : ?cat:string -> tid:int -> ts:int -> string -> unit
+
+val sim_end : tid:int -> ts:int -> string -> unit
+val sim_instant : ?cat:string -> tid:int -> ts:int -> string -> unit
+
+(** Add [delta] to counter [name] (no-op when 0 or disabled). *)
+val count : string -> int -> unit
+
+(** Record one histogram observation of [value] under [name]. *)
+val observe : string -> int -> unit
