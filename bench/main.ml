@@ -102,8 +102,32 @@ let estimates_of results : (string * float) list =
     results []
   |> List.sort compare
 
+(* Deterministic simulated-cycle metrics per workload. The regression
+   gate compares these — bechamel nanoseconds are machine-dependent
+   noise, simulator cycles are reproducible to the last digit. *)
+let cycles_of (b : Harness.Bench_run.t) : (string * int) list =
+  let seq = Harness.Bench_run.seq b in
+  ("seq_total", seq.Parexec.Sim.sq_total)
+  :: ("seq_loop", Harness.Bench_run.loop_cycles_seq b)
+  :: List.concat_map
+       (fun t ->
+         let p = Harness.Bench_run.par b ~threads:t in
+         [
+           ( Printf.sprintf "par_loop@%d" t,
+             Harness.Bench_run.loop_cycles_par b ~threads:t );
+           (Printf.sprintf "par_total@%d" t, p.Parexec.Sim.pr_total);
+         ])
+       [ 2; 4; 8 ]
+
+let bench_name (b : Harness.Bench_run.t) =
+  b.Harness.Bench_run.workload.Workloads.Workload.name
+
+let cycles_json (b : Harness.Bench_run.t) : Telemetry.Json.t =
+  Telemetry.Json.Obj
+    (List.map (fun (k, v) -> (k, Telemetry.Json.Int v)) (cycles_of b))
+
 (* Machine-readable results for CI trending; the schema is documented
-   in EXPERIMENTS.md ("dsexpand-bench/1"). *)
+   in EXPERIMENTS.md ("dsexpand-bench/2"). *)
 let results_json ~fast ~stages ~artifacts (benches : Harness.Bench_run.t list)
     : Telemetry.Json.t =
   let open Telemetry.Json in
@@ -114,8 +138,8 @@ let results_json ~fast ~stages ~artifacts (benches : Harness.Bench_run.t list)
   let workload (b : Harness.Bench_run.t) =
     Obj
       [
-        ( "name",
-          Str b.Harness.Bench_run.workload.Workloads.Workload.name );
+        ("name", Str (bench_name b));
+        ("cycles", cycles_json b);
         ( "loop_speedup",
           at_threads
             (fun ~threads -> Harness.Bench_run.loop_speedup b ~threads)
@@ -132,15 +156,129 @@ let results_json ~fast ~stages ~artifacts (benches : Harness.Bench_run.t list)
   in
   Obj
     [
-      ("schema", Str "dsexpand-bench/1");
+      ("schema", Str "dsexpand-bench/2");
       ("fast", Bool fast);
       ("stages_ns", ns_obj stages);
       ("artifacts_ns", ns_obj artifacts);
       ("workloads", List (List.map workload benches));
     ]
 
+(* The checked-in baseline (bench/BASELINE.json): cycles only, so the
+   file never changes unless simulated behavior does. *)
+let baseline_json (benches : Harness.Bench_run.t list) : Telemetry.Json.t =
+  let open Telemetry.Json in
+  Obj
+    [
+      ("schema", Str "dsexpand-bench/2");
+      ( "workloads",
+        List
+          (List.map
+             (fun b ->
+               Obj [ ("name", Str (bench_name b)); ("cycles", cycles_json b) ])
+             benches) );
+    ]
+
+let read_file file =
+  let ic = open_in_bin file in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_json file json =
+  let oc = open_out file in
+  output_string oc (Telemetry.Json.to_string json);
+  output_char oc '\n';
+  close_out oc
+
+(* The regression gate: every cycle metric present in both the
+   baseline and this run may grow by at most [tolerance]. Returns the
+   number of regressions. Accepts both BENCH_results.json and the
+   reduced baseline file (each has workloads[].name/.cycles). *)
+let compare_against ~file (benches : Harness.Bench_run.t list) : int =
+  let tolerance = 0.15 in
+  let base = Telemetry.Json.of_string_exn (read_file file) in
+  let base_workloads =
+    match Telemetry.Json.member "workloads" base with
+    | Some (Telemetry.Json.List l) -> l
+    | _ ->
+      Printf.eprintf "%s: no \"workloads\" array\n" file;
+      exit 2
+  in
+  let base_cycles name =
+    List.find_map
+      (fun w ->
+        match Telemetry.Json.member "name" w with
+        | Some (Telemetry.Json.Str n) when n = name ->
+          Telemetry.Json.member "cycles" w
+        | _ -> None)
+      base_workloads
+  in
+  let regressions = ref 0 in
+  Printf.printf "== cycle regression gate vs %s (tolerance %+.0f%%) ==\n" file
+    (tolerance *. 100.);
+  List.iter
+    (fun b ->
+      let name = bench_name b in
+      match base_cycles name with
+      | None -> Printf.printf "%-16s not in baseline, skipped\n" name
+      | Some base_obj ->
+        List.iter
+          (fun (metric, cur) ->
+            match Telemetry.Json.member metric base_obj with
+            | Some (Telemetry.Json.Int bv) ->
+              let worse =
+                if bv = 0 then cur > 0
+                else
+                  float_of_int cur
+                  > float_of_int bv *. (1. +. tolerance)
+              in
+              let delta =
+                if bv = 0 then 0.
+                else (float_of_int cur /. float_of_int bv -. 1.) *. 100.
+              in
+              if worse then incr regressions;
+              Printf.printf "%-16s %-12s %12d -> %12d  %+6.1f%%%s\n" name
+                metric bv cur delta
+                (if worse then "  REGRESSION" else "")
+            | _ -> ())
+          (cycles_of b))
+    benches;
+  !regressions
+
 let () =
-  let fast = Array.exists (String.equal "--fast") Sys.argv in
+  let argv = Array.to_list Sys.argv in
+  let fast = List.mem "--fast" argv in
+  let rec arg_of flag = function
+    | f :: v :: _ when f = flag -> Some v
+    | _ :: rest -> arg_of flag rest
+    | [] -> None
+  in
+  let workloads_for () =
+    if fast then [ md5_workload ] else Workloads.Registry.all
+  in
+  (* --compare / --write-baseline run only the deterministic cycle
+     metrics: no bechamel, no artifact regeneration *)
+  (match arg_of "--compare" argv with
+  | Some file ->
+    let benches = List.map Harness.Bench_run.load (workloads_for ()) in
+    let regressions = compare_against ~file benches in
+    if regressions > 0 then begin
+      Printf.printf "%d metric(s) regressed beyond tolerance\n" regressions;
+      exit 1
+    end
+    else begin
+      print_endline "no cycle regressions";
+      exit 0
+    end
+  | None -> ());
+  (match arg_of "--write-baseline" argv with
+  | Some file ->
+    let benches = List.map Harness.Bench_run.load (workloads_for ()) in
+    write_json file (baseline_json benches);
+    Printf.printf "wrote %s\n" file;
+    exit 0
+  | None -> ());
   Bechamel_notty.Unit.add Instance.monotonic_clock
     (Measure.unit Instance.monotonic_clock);
   print_endline "== toolchain stage micro-benchmarks (bechamel) ==";
@@ -155,12 +293,9 @@ let () =
   in
   print_results artifact_results;
   print_newline ();
-  let workloads =
-    if fast then [ md5_workload ] else Workloads.Registry.all
-  in
   Printf.printf "== full evaluation: all tables and figures, %s ==\n"
     (if fast then "md5 only (--fast)" else "all benchmarks");
-  let benches = List.map Harness.Bench_run.load workloads in
+  let benches = List.map Harness.Bench_run.load (workloads_for ()) in
   List.iter
     (fun (name, thunk) ->
       Printf.printf "\n--- %s ---\n%!" name;

@@ -136,6 +136,32 @@ let metrics_format_arg =
     & info [ "metrics-format" ] ~docv:"FMT"
         ~doc:"Format of the --metrics report: $(b,table) or $(b,json).")
 
+let explain_arg =
+  Arg.(
+    value & flag
+    & info [ "explain" ]
+        ~doc:
+          "Print decision provenance: which Definition-4/5 condition decided \
+           each access class (with the dependence edges as evidence) and why \
+           each privatized structure got its bonded/interleaved layout.")
+
+let explain_format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("table", `Table); ("json", `Json) ]) `Table
+    & info [ "explain-format" ] ~docv:"FMT"
+        ~doc:"Format of the --explain report: $(b,table) or $(b,json).")
+
+let heatmap_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "heatmap" ] ~docv:"FILE"
+        ~doc:
+          "Simulate a parallel run (N = --threads, default 4) with cache-line \
+           attribution and write the heatmap JSON artifact (per-line owners, \
+           false-sharing lines, per-copy span utilization) to FILE.")
+
 let parse_fault ~seed spec =
   let fail () =
     prerr_endline
@@ -226,6 +252,155 @@ let setup_telemetry ~trace ~metrics ~metrics_format : unit =
         end)
   end
 
+(* ------------------------------------------------------------------ *)
+(* --explain / --heatmap                                               *)
+(* ------------------------------------------------------------------ *)
+
+let kind_name c =
+  match Privatize.Classify.parallelism_kind c with
+  | `Doall -> "DOALL"
+  | `Doacross -> "DOACROSS"
+
+let explain_json ~file (analyses : Privatize.Analyze.result list)
+    (res : Expand.Transform.result) : Telemetry.Json.t =
+  let open Telemetry.Json in
+  let loop_json (a : Privatize.Analyze.result) =
+    let c = a.Privatize.Analyze.classification in
+    let g = c.Privatize.Classify.graph in
+    Obj
+      [
+        ("loop", Int g.Depgraph.Graph.loop);
+        ("function", Str a.Privatize.Analyze.loop_fun.Minic.Ast.fname);
+        ("kind", Str (kind_name c));
+        ( "classes",
+          List
+            (List.map
+               (fun (p : Privatize.Classify.provenance) ->
+                 Obj
+                   [
+                     ( "aids",
+                       List
+                         (List.map
+                            (fun aid -> Int aid)
+                            p.Privatize.Classify.p_aids) );
+                     ( "members",
+                       List
+                         (List.map
+                            (fun aid -> Str (Depgraph.Graph.site_text g aid))
+                            p.Privatize.Classify.p_aids) );
+                     ( "verdict",
+                       Str
+                         (Privatize.Classify.verdict_name
+                            p.Privatize.Classify.p_verdict) );
+                     ( "rule",
+                       Str
+                         (Privatize.Classify.rule_name
+                            p.Privatize.Classify.p_rule) );
+                     ( "trigger",
+                       match p.Privatize.Classify.p_witness with
+                       | Some w -> Str (Depgraph.Graph.site_text g w)
+                       | None -> Null );
+                     ( "evidence",
+                       List
+                         (List.map
+                            (fun (e : Depgraph.Graph.edge) ->
+                              Obj
+                                [
+                                  ("src", Int e.Depgraph.Graph.e_src);
+                                  ("dst", Int e.Depgraph.Graph.e_dst);
+                                  ( "kind",
+                                    Str
+                                      (Depgraph.Graph.dep_kind_name
+                                         e.Depgraph.Graph.e_kind) );
+                                  ("carried", Bool e.Depgraph.Graph.e_carried);
+                                  ("cite", Str (Depgraph.Graph.cite_edge g e));
+                                ])
+                            p.Privatize.Classify.p_evidence) );
+                   ])
+               c.Privatize.Classify.provenance) );
+      ]
+  in
+  let layout_json (lc : Expand.Plan.layout_choice) =
+    Obj
+      [
+        ("object", Str lc.Expand.Plan.lc_object);
+        ("kind", Str (if lc.Expand.Plan.lc_is_alloc then "alloc" else "var"));
+        ("layout", Str (Expand.Plan.mode_name lc.Expand.Plan.lc_mode));
+        ("interleavable", Bool lc.Expand.Plan.lc_interleavable);
+        ( "copy_span_bytes",
+          match lc.Expand.Plan.lc_copy_span with
+          | Some b -> Int b
+          | None -> Null );
+        ("why", Str lc.Expand.Plan.lc_why);
+      ]
+  in
+  Obj
+    [
+      ("schema", Str "dsexpand-explain/1");
+      ("workload", Str file);
+      ( "mode",
+        Str (Expand.Plan.mode_name res.Expand.Transform.plan.Expand.Plan.mode)
+      );
+      ("loops", List (List.map loop_json analyses));
+      ( "layout",
+        List (List.map layout_json (Expand.Plan.layout res.Expand.Transform.plan))
+      );
+    ]
+
+let print_explain ~format ~file (analyses : Privatize.Analyze.result list)
+    (res : Expand.Transform.result) : unit =
+  match format with
+  | `Json -> print_endline (Telemetry.Json.to_string (explain_json ~file analyses res))
+  | `Table ->
+    List.iter
+      (fun (a : Privatize.Analyze.result) ->
+        let c = a.Privatize.Analyze.classification in
+        Printf.printf "Explain: loop %d in %s (%s)\n"
+          c.Privatize.Classify.graph.Depgraph.Graph.loop
+          a.Privatize.Analyze.loop_fun.Minic.Ast.fname (kind_name c);
+        print_string
+          (Report.Tables.explain_table (Privatize.Classify.explain_rows c));
+        print_newline ())
+      analyses;
+    Printf.printf "Explain: expansion layout (%s mode)\n"
+      (Expand.Plan.mode_name res.Expand.Transform.plan.Expand.Plan.mode);
+    print_string
+      (Report.Tables.layout_table
+         (Expand.Plan.layout_rows res.Expand.Transform.plan))
+
+let write_heatmap ~threads ~file (analyses : Privatize.Analyze.result list)
+    (res : Expand.Transform.result) (path : string) : unit =
+  let threads = if threads > 1 then threads else 4 in
+  let specs = List.map Parexec.Sim.spec_of_analysis analyses in
+  let pr =
+    Parexec.Sim.run_parallel
+      ~heatmap:(Harness.Bench_run.heat_classifier res)
+      res.Expand.Transform.transformed specs ~threads
+  in
+  let h = match pr.Parexec.Sim.pr_heat with Some h -> h | None -> assert false in
+  let json =
+    Parexec.Heat.to_json
+      ~extra:
+        [
+          ("workload", Telemetry.Json.Str file);
+          ( "mode",
+            Telemetry.Json.Str
+              (Expand.Plan.mode_name res.Expand.Transform.plan.Expand.Plan.mode)
+          );
+          ("threads", Telemetry.Json.Int threads);
+        ]
+      h
+  in
+  let oc = open_out_bin path in
+  output_string oc (Telemetry.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf
+    "heatmap T=%d: %d lines attributed, %d false-sharing, %d copies -> %s\n"
+    threads h.Parexec.Heat.total_lines h.Parexec.Heat.false_sharing_lines
+    (List.length h.Parexec.Heat.copies)
+    path
+
 let load_source input workload =
   match (input, workload) with
   | Some path, None -> (Filename.basename path, read_file path)
@@ -270,7 +445,8 @@ let run_ladder ~threads ~seed prog analyses fault_spec =
   if not ok then exit 1
 
 let run input workload dump_deps report check threads no_opt unselective
-    guard ladder fault seed campaign trace metrics metrics_format =
+    guard ladder fault seed campaign trace metrics metrics_format explain
+    explain_format heatmap =
   setup_telemetry ~trace ~metrics ~metrics_format;
   if campaign then begin
     let entries =
@@ -350,6 +526,8 @@ let run input workload dump_deps report check threads no_opt unselective
       Expand.Transform.expand_loops ~selective:(not unselective)
         ~optimize:(not no_opt) prog analyses
     in
+    if explain then print_explain ~format:explain_format ~file analyses res;
+    Option.iter (write_heatmap ~threads ~file analyses res) heatmap;
     if check then begin
       let code0, out0 = Interp.Machine.run_program prog in
       let m = Interp.Machine.load res.Expand.Transform.transformed in
@@ -410,7 +588,7 @@ let run input workload dump_deps report check threads no_opt unselective
       end;
       if not (String.equal out0 out1) then exit 1
     end
-    else
+    else if not explain && heatmap = None then
       print_string
         (Minic.Pretty.program_to_string res.Expand.Transform.transformed)
   end
@@ -424,6 +602,7 @@ let cmd =
       const run $ input_arg $ workload_arg $ dump_deps_arg $ report_arg
       $ check_arg $ threads_arg $ no_opt_arg $ unselective_arg $ guard_arg
       $ ladder_arg $ fault_arg $ seed_arg $ campaign_arg $ trace_arg
-      $ metrics_arg $ metrics_format_arg)
+      $ metrics_arg $ metrics_format_arg $ explain_arg $ explain_format_arg
+      $ heatmap_arg)
 
 let () = exit (Cmd.eval cmd)

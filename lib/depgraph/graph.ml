@@ -26,12 +26,21 @@ type site = {
   s_text : string;  (** rendered lvalue, for reports *)
 }
 
+(** Pseudo access id standing for the world outside the loop, used as
+    an edge endpoint when citing loop-boundary dependences (the
+    concrete witnesses behind Definition 2/3 exposure marks). *)
+let boundary : Ast.aid = -1
+
 type t = {
   loop : Ast.lid;
   sites : site list;
   edges : (edge, unit) Hashtbl.t;
   upwards_exposed : (Ast.aid, unit) Hashtbl.t;
   downwards_exposed : (Ast.aid, unit) Hashtbl.t;
+  killed_after_loop : (Ast.aid, unit) Hashtbl.t;
+      (** stores whose last-written value a post-loop store overwrote:
+          the boundary output dependence cited for store-only classes
+          with no in-loop edges *)
   dyn_counts : (Ast.aid, int) Hashtbl.t;
       (** dynamic executions of each site inside the loop *)
   mutable iterations : int;  (** total iterations over all invocations *)
@@ -47,6 +56,7 @@ let create (loop : Ast.lid) (sites : site list) : t =
     edges = Hashtbl.create 64;
     upwards_exposed = Hashtbl.create 16;
     downwards_exposed = Hashtbl.create 16;
+    killed_after_loop = Hashtbl.create 16;
     dyn_counts = Hashtbl.create 64;
     iterations = 0;
     invocations = 0;
@@ -68,11 +78,13 @@ let copy g =
     edges = Hashtbl.copy g.edges;
     upwards_exposed = Hashtbl.copy g.upwards_exposed;
     downwards_exposed = Hashtbl.copy g.downwards_exposed;
+    killed_after_loop = Hashtbl.copy g.killed_after_loop;
     dyn_counts = Hashtbl.copy g.dyn_counts;
   }
 
 let mark_upwards_exposed g aid = Hashtbl.replace g.upwards_exposed aid ()
 let mark_downwards_exposed g aid = Hashtbl.replace g.downwards_exposed aid ()
+let mark_killed_after_loop g aid = Hashtbl.replace g.killed_after_loop aid ()
 
 let bump_count g aid =
   Hashtbl.replace g.dyn_counts aid
@@ -81,6 +93,7 @@ let bump_count g aid =
 let edges g = Hashtbl.fold (fun e () acc -> e :: acc) g.edges []
 let is_upwards_exposed g aid = Hashtbl.mem g.upwards_exposed aid
 let is_downwards_exposed g aid = Hashtbl.mem g.downwards_exposed aid
+let is_killed_after_loop g aid = Hashtbl.mem g.killed_after_loop aid
 
 let dyn_count g aid = Option.value ~default:0 (Hashtbl.find_opt g.dyn_counts aid)
 
@@ -113,6 +126,49 @@ let pp_dep_kind fmt = function
   | Flow -> Format.pp_print_string fmt "flow"
   | Anti -> Format.pp_print_string fmt "anti"
   | Output -> Format.pp_print_string fmt "output"
+
+let dep_kind_name = function
+  | Flow -> "flow"
+  | Anti -> "anti"
+  | Output -> "output"
+
+(** Total order on edges for deterministic evidence lists. *)
+let compare_edge (a : edge) (b : edge) : int = compare a b
+
+(** Edges involving [aid] (as source or sink), sorted. *)
+let edges_involving (g : t) (aid : Ast.aid) : edge list =
+  Hashtbl.fold
+    (fun e () acc -> if e.e_src = aid || e.e_dst = aid then e :: acc else acc)
+    g.edges []
+  |> List.sort_uniq compare_edge
+
+(** Edges involving any of [aids], sorted and deduplicated. *)
+let edges_involving_any (g : t) (aids : Ast.aid list) : edge list =
+  Hashtbl.fold
+    (fun e () acc ->
+      if List.mem e.e_src aids || List.mem e.e_dst aids then e :: acc else acc)
+    g.edges []
+  |> List.sort_uniq compare_edge
+
+(** Rendered access site: stores carry a ["="] prefix (the convention
+    of the --report output), unknown ids their raw number. *)
+let site_text (g : t) (aid : Ast.aid) : string =
+  if aid = boundary then "<outside loop>"
+  else
+    match site g aid with
+    | Some s ->
+      (match s.s_kind with Visit.Load -> "" | Visit.Store -> "=")
+      ^ s.s_text
+    | None -> Printf.sprintf "[%d]" aid
+
+(** One-line citation of a dependence edge against the graph's site
+    texts, e.g. ["=a[i] -anti/carried-> a[j]"] — the evidence format
+    of the --explain report. *)
+let cite_edge (g : t) (e : edge) : string =
+  Printf.sprintf "%s -%s%s-> %s" (site_text g e.e_src)
+    (dep_kind_name e.e_kind)
+    (if e.e_carried then "/carried" else "")
+    (site_text g e.e_dst)
 
 (** Human-readable dump, used by the dsexpand CLI's --dump-deps. *)
 let to_string (g : t) : string =

@@ -31,12 +31,19 @@ type site = {
   s_text : string;  (** rendered lvalue, for reports *)
 }
 
+(** Pseudo access id standing for the world outside the loop, used as
+    an edge endpoint when citing loop-boundary dependences (the
+    concrete witnesses behind Definition 2/3 exposure marks). *)
+val boundary : Ast.aid
+
 type t = {
   loop : Ast.lid;
   sites : site list;
   edges : (edge, unit) Hashtbl.t;
   upwards_exposed : (Ast.aid, unit) Hashtbl.t;
   downwards_exposed : (Ast.aid, unit) Hashtbl.t;
+  killed_after_loop : (Ast.aid, unit) Hashtbl.t;
+      (** stores whose last-written value a post-loop store overwrote *)
   dyn_counts : (Ast.aid, int) Hashtbl.t;
   mutable iterations : int;  (** total iterations over all invocations *)
   mutable invocations : int;
@@ -53,10 +60,12 @@ val remove_edge : t -> edge -> unit
 val copy : t -> t
 val mark_upwards_exposed : t -> Ast.aid -> unit
 val mark_downwards_exposed : t -> Ast.aid -> unit
+val mark_killed_after_loop : t -> Ast.aid -> unit
 val bump_count : t -> Ast.aid -> unit
 val edges : t -> edge list
 val is_upwards_exposed : t -> Ast.aid -> bool
 val is_downwards_exposed : t -> Ast.aid -> bool
+val is_killed_after_loop : t -> Ast.aid -> bool
 val dyn_count : t -> Ast.aid -> int
 
 (** Does [aid] participate (as source or sink) in an edge satisfying
@@ -73,6 +82,23 @@ val independent_pairs : t -> (Ast.aid * Ast.aid) list
 
 val site : t -> Ast.aid -> site option
 val pp_dep_kind : Format.formatter -> dep_kind -> unit
+val dep_kind_name : dep_kind -> string
+
+(** Total order on edges for deterministic evidence lists. *)
+val compare_edge : edge -> edge -> int
+
+(** Edges involving [aid] (as source or sink), sorted. *)
+val edges_involving : t -> Ast.aid -> edge list
+
+(** Edges involving any of [aids], sorted and deduplicated. *)
+val edges_involving_any : t -> Ast.aid list -> edge list
+
+(** Rendered access site; stores carry a ["="] prefix. *)
+val site_text : t -> Ast.aid -> string
+
+(** One-line citation of a dependence edge against the graph's site
+    texts, e.g. ["=a[i] -anti/carried-> a[j]"]. *)
+val cite_edge : t -> edge -> string
 
 (** Human-readable dump (the dsexpand CLI's --dump-deps). *)
 val to_string : t -> string

@@ -200,6 +200,10 @@ let profile (prog : Ast.program) (lid : Ast.lid) : profile =
         for i = 0 to size - 1 do
           match Hashtbl.find_opt bytes (addr + i) with
           | Some b ->
+            (* overwriting an in-loop value that was never read after
+               the loop: a loop-boundary output dependence *)
+            if b.w_aid >= 0 && b.w_inloop then
+              Graph.mark_killed_after_loop g b.w_aid;
             b.w_aid <- -1;
             b.w_inloop <- false;
             b.readers <- []

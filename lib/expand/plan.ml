@@ -385,6 +385,135 @@ let make ~(mode : mode) ~(selective : bool) (orig : Ast.program)
 let privatized_count (plan : t) : int =
   Hashtbl.length plan.expand_vars + Hashtbl.length plan.expand_allocs
 
+let mode_name = function Bonded -> "bonded" | Interleaved -> "interleaved"
+
+(** Why a privatized object ended up in its layout (Figure 2): the
+    provenance behind the --explain layout table. *)
+type layout_choice = {
+  lc_object : string;  (** qualified variable name, or "malloc@[aid]" *)
+  lc_is_alloc : bool;
+  lc_mode : mode;  (** layout this object actually gets *)
+  lc_interleavable : bool;  (** struct of primitive members (Fig. 2b)? *)
+  lc_why : string;  (** justification, in the transformer's terms *)
+  lc_copy_span : int option;
+      (** bytes per thread copy, for statically-sized objects *)
+}
+
+(** Mirrors the transformer's interleaving tests
+    ([Transform.interleaved_struct] / [Transform.prim_array_dims]):
+    structs of primitive members and (nested) arrays of primitive
+    elements interleave; recasting between different-sized types
+    breaks the interleaved address math for everything else. *)
+let rec interleavable_ty comps (t : Types.ty) : bool =
+  match t with
+  | Types.Tstruct tag -> (
+    match Hashtbl.find_opt comps tag with
+    | Some c ->
+      List.for_all
+        (fun (_, ft) ->
+          match ft with Types.Tint _ | Types.Tfloat _ -> true | _ -> false)
+        c.Types.cfields
+    | None -> false)
+  | Types.Tarray ((Types.Tint _ | Types.Tfloat _), _) -> true
+  | Types.Tarray (elt, _) -> interleavable_ty comps elt
+  | _ -> false
+
+(** Declared type of a qualified variable, if it resolves. *)
+let qvar_ty (plan : t) (q : string) : Types.ty option =
+  match unqualify q with
+  | Some fn, x -> (
+    match Ast.find_fun plan.prog fn with
+    | Some f -> (
+      match List.assoc_opt x f.Ast.flocals with
+      | Some t -> Some t
+      | None -> List.assoc_opt x f.Ast.fformals)
+    | None -> None)
+  | None, x ->
+    List.find_map
+      (fun (y, t, _) -> if y = x then Some t else None)
+      (Ast.global_vars plan.prog)
+
+(** Layout provenance for every object of the expansion set, in
+    deterministic (name, then allocation-site) order. *)
+let layout (plan : t) : layout_choice list =
+  let comps = plan.prog.Ast.comps in
+  let var_choice q =
+    let ty = qvar_ty plan q in
+    let interleavable =
+      match ty with Some t -> interleavable_ty comps t | None -> false
+    in
+    let span =
+      match ty with
+      | Some t -> ( try Some (Types.sizeof comps Loc.dummy t) with _ -> None)
+      | None -> None
+    in
+    let lc_mode, lc_why =
+      match (ty, interleavable, plan.mode) with
+      | _, true, Interleaved ->
+        ( Interleaved,
+          "primitive members/elements: each one's N copies are \
+           consecutive (Figure 2b)" )
+      | _, true, Bonded ->
+        ( Bonded,
+          "primitive members/elements (interleavable), but bonded mode \
+           keeps each copy contiguous (Figure 2a)" )
+      | Some (Types.Tint _ | Types.Tfloat _), _, _ ->
+        (Bonded, "primitive scalar: both layouts coincide")
+      | _, false, Interleaved ->
+        ( Bonded,
+          "members are not all primitive (arrays/pointers recast between \
+           different-sized types): falls back to bonded copies" )
+      | _, false, Bonded ->
+        (Bonded, "bonded mode: N contiguous copies (Figure 2a)")
+    in
+    {
+      lc_object = q;
+      lc_is_alloc = false;
+      lc_mode;
+      lc_interleavable = interleavable;
+      lc_why;
+      lc_copy_span = span;
+    }
+  in
+  let alloc_choice aid =
+    {
+      lc_object = Printf.sprintf "malloc@[%d]" aid;
+      lc_is_alloc = true;
+      lc_mode = Bonded;
+      lc_interleavable = false;
+      lc_why =
+        "heap allocation site: the block is scaled to N back-to-back \
+         copies, bonded by construction";
+      lc_copy_span = None;
+    }
+  in
+  let vars =
+    Hashtbl.fold (fun q () acc -> q :: acc) plan.expand_vars []
+    |> List.sort compare
+  in
+  let allocs =
+    Hashtbl.fold (fun a () acc -> a :: acc) plan.expand_allocs []
+    |> List.sort compare
+  in
+  List.map var_choice vars @ List.map alloc_choice allocs
+
+(** Rows of the --explain layout table: object, kind, layout,
+    interleavable?, per-copy span, justification. *)
+let layout_rows (plan : t) : string list list =
+  List.map
+    (fun lc ->
+      [
+        lc.lc_object;
+        (if lc.lc_is_alloc then "alloc" else "var");
+        mode_name lc.lc_mode;
+        (if lc.lc_interleavable then "yes" else "no");
+        (match lc.lc_copy_span with
+        | Some b -> Printf.sprintf "%dB" b
+        | None -> "-");
+        lc.lc_why;
+      ])
+    (layout plan)
+
 let expanded_var plan q = Hashtbl.mem plan.expand_vars q
 let expanded_alloc plan aid = Hashtbl.mem plan.expand_allocs aid
 let promoted_var plan q = Hashtbl.mem plan.promoted_vars q

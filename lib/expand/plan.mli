@@ -82,3 +82,32 @@ val expanded_var : t -> string -> bool
 val expanded_alloc : t -> Ast.aid -> bool
 val promoted_var : t -> string -> bool
 val promoted_field : t -> string -> string -> bool
+
+val mode_name : mode -> string
+
+(** Why a privatized object ended up in its layout (Figure 2): the
+    provenance behind the --explain layout table. *)
+type layout_choice = {
+  lc_object : string;  (** qualified variable name, or "malloc@[aid]" *)
+  lc_is_alloc : bool;
+  lc_mode : mode;  (** layout this object actually gets *)
+  lc_interleavable : bool;  (** struct of primitive members (Fig. 2b)? *)
+  lc_why : string;  (** justification, in the transformer's terms *)
+  lc_copy_span : int option;
+      (** bytes per thread copy, for statically-sized objects *)
+}
+
+(** Mirrors the transformer's interleaving test: only a struct whose
+    every member is a primitive can interleave. *)
+val interleavable_ty : (string, Types.composite) Hashtbl.t -> Types.ty -> bool
+
+(** Declared type of a qualified variable, if it resolves. *)
+val qvar_ty : t -> string -> Types.ty option
+
+(** Layout provenance for every object of the expansion set, in
+    deterministic (name, then allocation-site) order. *)
+val layout : t -> layout_choice list
+
+(** Rows of the --explain layout table: object, kind, layout,
+    interleavable?, per-copy span, justification. *)
+val layout_rows : t -> string list list

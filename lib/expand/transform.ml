@@ -454,6 +454,27 @@ let private_deref ctx (pointee : Types.ty) (ptr : Ast.exp) (span : Ast.exp) :
              Ast.Cast (Types.Tptr (Types.Tint Types.IChar), ptr),
              Ast.Binop (Ast.Mul, clong (tid_load ctx), span) ) ))
 
+(** Root variable of a pure index chain ([a[i]…[k]]), if any. *)
+let rec index_root : Ast.lval -> string option = function
+  | Ast.Index (b, _) -> index_root b
+  | Ast.Var x -> Some x
+  | _ -> None
+
+(** Indices of a pure index chain, outermost dimension first. *)
+let rec index_chain acc : Ast.lval -> Ast.exp list = function
+  | Ast.Index (b, i) -> index_chain (i :: acc) b
+  | _ -> acc
+
+(** Dimensions of a (possibly nested) array of primitive elements;
+    [None] for anything the interleaved layout cannot scatter. *)
+let rec prim_array_dims : Types.ty -> (int list * Types.ty) option = function
+  | Types.Tarray (elt, n) -> (
+    match elt with
+    | Types.Tint _ | Types.Tfloat _ -> Some ([ n ], elt)
+    | _ ->
+      Option.map (fun (ds, e) -> (n :: ds, e)) (prim_array_dims elt))
+  | _ -> None
+
 let rec rewrite_exp ctx fe (f : Ast.fundef) (e : Ast.exp) : Ast.exp =
   match e with
   | Ast.Const _ | Ast.SizeofType _ -> e
@@ -543,7 +564,9 @@ and rewrite_lval ctx fe f (mode : [ `Private | `Shared ]) (lv : Ast.lval) :
     when ctx.plan.Plan.mode = Plan.Interleaved
          && Plan.expanded_var ctx.plan (Plan.qualify f x)
          && (not (Hashtbl.mem ctx.scalar_privates (Plan.qualify f x)))
-         && Option.is_some (interleaved_struct ctx fe x) ->
+         && (Option.is_some (interleaved_struct ctx fe x)
+            || Option.is_some
+                 (prim_array_dims (Typecheck.lval_ty fe (Ast.Var x)))) ->
     unsupported
       "interleaved mode cannot take a whole-structure view of '%s' (its        members are not adjacent); use the bonded mode"
       x
@@ -607,6 +630,67 @@ and rewrite_lval ctx fe f (mode : [ `Private | `Shared ]) (lv : Ast.lval) :
       private_deref ctx pointee ptr span
     end
     else Ast.Deref (rewrite_exp ctx fe f e))
+  | Ast.Index _
+    when ctx.plan.Plan.mode = Plan.Interleaved
+         && (match index_root lv with
+            | Some x ->
+              Plan.expanded_var ctx.plan (Plan.qualify f x)
+              && not (Hashtbl.mem ctx.scalar_privates (Plan.qualify f x))
+            | None -> false) -> (
+    let x = Option.get (index_root lv) in
+    let indices = index_chain [] lv in
+    match prim_array_dims (Typecheck.lval_ty fe (Ast.Var x)) with
+    | Some (dims, elt) when List.length dims = List.length indices ->
+      (* Figure 2(b) generalized to arrays: the N copies of each
+         element sit adjacent, successive elements N*sizeof(elt)
+         apart — base + (linear*N + tid)*sizeof(elt). This is the
+         layout whose false sharing the heatmap ablation measures. *)
+      let esz = Types.sizeof (prog ctx).Ast.comps Loc.dummy elt in
+      let strides =
+        (* per-dimension stride in elements *)
+        let rec go = function
+          | [] -> []
+          | _ :: rest -> List.fold_left ( * ) 1 rest :: go rest
+        in
+        go dims
+      in
+      let linear =
+        List.fold_left2
+          (fun acc i stride ->
+            let i = clong (rewrite_exp ctx fe f i) in
+            let term =
+              if stride = 1 then i
+              else
+                Ast.Binop (Ast.Mul, i, Ast.cint ~ik:Types.ILong stride)
+            in
+            match acc with
+            | None -> Some term
+            | Some a -> Some (Ast.Binop (Ast.Add, a, term)))
+          None indices strides
+        |> Option.get
+      in
+      let slot =
+        let scaled = Ast.Binop (Ast.Mul, linear, clong (nthreads_load ctx)) in
+        match mode with
+        | `Shared -> scaled
+        | `Private -> Ast.Binop (Ast.Add, scaled, clong (tid_load ctx))
+      in
+      let base =
+        Ast.Cast
+          ( Types.Tptr (Types.Tint Types.IChar),
+            Ast.Lval (fresh ctx, Ast.Var (Names.exp_var x)) )
+      in
+      Ast.Deref
+        (Ast.Cast
+           ( Types.Tptr elt,
+             Ast.Binop
+               ( Ast.Add,
+                 base,
+                 Ast.Binop (Ast.Mul, slot, Ast.cint ~ik:Types.ILong esz) ) ))
+    | _ ->
+      unsupported
+        "interleaved mode cannot lay out this view of '%s' (only          full-depth element accesses of primitive arrays interleave)"
+        x)
   | Ast.Index (b, i) ->
     Ast.Index (rewrite_lval ctx fe f mode b, rewrite_exp ctx fe f i)
   | Ast.Field (b, fld) -> Ast.Field (rewrite_lval ctx fe f mode b, fld)
@@ -1116,6 +1200,14 @@ let expand_loops ?(mode = Plan.Bonded) ?(selective = true)
      statement nesting introduced by the rewriting *)
   Typecheck.check plan.Plan.prog;
   Telemetry.Span.count "expand.privatized" (Plan.privatized_count plan);
+  if Telemetry.Sink.enabled () then
+    List.iter
+      (fun (lc : Plan.layout_choice) ->
+        Telemetry.Span.count ("plan.layout." ^ Plan.mode_name lc.Plan.lc_mode)
+          1;
+        if lc.Plan.lc_interleavable then
+          Telemetry.Span.count "plan.layout.interleavable" 1)
+      (Plan.layout plan);
   (match opt_stats with
   | Some st ->
     Telemetry.Span.count "expand.spanopt.self_assigns_removed"

@@ -16,8 +16,9 @@ type t = {
       (** promote-all, no span optimization: Figure 9a's configuration *)
   rp : Parexec.Sim.runtime_priv Lazy.t;
   seq : Parexec.Sim.seq_result Lazy.t;
-  mutable par_cache : (int * bool, Parexec.Sim.par_result) Hashtbl.t;
-      (** (threads, with runtime-privatization surcharge) -> result *)
+  mutable par_cache : (int * bool * bool, Parexec.Sim.par_result) Hashtbl.t;
+      (** (threads, with runtime-privatization surcharge, with heatmap
+          attribution) -> result *)
   mutable seq_cycles_cache : (string, int * int) Hashtbl.t;
       (** tagged sequential runs of transformed programs:
           (cycles, peak bytes) *)
@@ -50,14 +51,28 @@ let load (w : Workloads.Workload.t) : t =
 
 let seq (b : t) = Lazy.force b.seq
 
-(** Simulated parallel run of the expanded program. *)
-let par ?(rp = false) (b : t) ~threads : Parexec.Sim.par_result =
-  match Hashtbl.find_opt b.par_cache (threads, rp) with
+(** Access-class classifier for heatmap attribution: the plan's merged
+    verdicts (which also cover generated span accesses) projected onto
+    the simulator's class type. *)
+let heat_classifier (r : Expand.Transform.result) (aid : Ast.aid) :
+    Parexec.Cache.attr_class =
+  match Expand.Plan.verdict r.Expand.Transform.plan aid with
+  | Privatize.Classify.Private -> Parexec.Cache.Private
+  | Privatize.Classify.Shared -> Parexec.Cache.Shared
+  | Privatize.Classify.Induction -> Parexec.Cache.Induction
+
+(** Simulated parallel run of the expanded program. [heatmap] opts into
+    per-line attribution (kept off the default path so the memoized
+    runs behind every table stay byte-for-byte what they were). *)
+let par ?(rp = false) ?(heatmap = false) (b : t) ~threads :
+    Parexec.Sim.par_result =
+  match Hashtbl.find_opt b.par_cache (threads, rp, heatmap) with
   | Some r -> r
   | None ->
     let r =
       Parexec.Sim.run_parallel
         ?rp:(if rp then Some (Lazy.force b.rp) else None)
+        ?heatmap:(if heatmap then Some (heat_classifier b.expanded) else None)
         b.expanded.Expand.Transform.transformed b.specs ~threads
     in
     if not (String.equal r.Parexec.Sim.pr_output (seq b).Parexec.Sim.sq_output)
@@ -65,8 +80,29 @@ let par ?(rp = false) (b : t) ~threads : Parexec.Sim.par_result =
       failwith
         (Printf.sprintf "%s: parallel output mismatch at %d threads"
            b.workload.Workloads.Workload.name threads);
-    Hashtbl.replace b.par_cache (threads, rp) r;
+    Hashtbl.replace b.par_cache (threads, rp, heatmap) r;
     r
+
+(** Cache-line heatmap of the expanded program at [threads]. *)
+let heat (b : t) ~threads : Parexec.Heat.t =
+  match (par ~heatmap:true b ~threads).Parexec.Sim.pr_heat with
+  | Some h -> h
+  | None -> assert false
+
+(** Heatmap of an alternative transformation of the same workload (the
+    bonded-vs-interleaved ablation); the run is validated against the
+    sequential oracle like every other measured run. *)
+let heat_of (b : t) (r : Expand.Transform.result) ~threads : Parexec.Heat.t =
+  let res =
+    Parexec.Sim.run_parallel ~heatmap:(heat_classifier r)
+      r.Expand.Transform.transformed b.specs ~threads
+  in
+  if not (String.equal res.Parexec.Sim.pr_output (seq b).Parexec.Sim.sq_output)
+  then
+    failwith
+      (Printf.sprintf "%s: parallel output mismatch at %d threads"
+         b.workload.Workloads.Workload.name threads);
+  match res.Parexec.Sim.pr_heat with Some h -> h | None -> assert false
 
 (** Sequential (1-thread, tid=0) run of a transformed program under the
     same cache model as the reference; gives Figure 9/10's overheads. *)

@@ -18,16 +18,31 @@ type t = {
       (** promote-all, no span optimization: Figure 9a's configuration *)
   rp : Parexec.Sim.runtime_priv Lazy.t;
   seq : Parexec.Sim.seq_result Lazy.t;
-  mutable par_cache : (int * bool, Parexec.Sim.par_result) Hashtbl.t;
+  mutable par_cache : (int * bool * bool, Parexec.Sim.par_result) Hashtbl.t;
   mutable seq_cycles_cache : (string, int * int) Hashtbl.t;
 }
 
 val load : Workloads.Workload.t -> t
 val seq : t -> Parexec.Sim.seq_result
 
+(** Access-class classifier for heatmap attribution: the plan's merged
+    verdicts (which also cover generated span accesses) projected onto
+    the simulator's class type. *)
+val heat_classifier :
+  Expand.Transform.result -> Ast.aid -> Parexec.Cache.attr_class
+
 (** Simulated parallel run; [rp:true] charges the SpiceC-style
-    runtime-privatization costs. *)
-val par : ?rp:bool -> t -> threads:int -> Parexec.Sim.par_result
+    runtime-privatization costs, [heatmap:true] opts into per-line
+    attribution. *)
+val par : ?rp:bool -> ?heatmap:bool -> t -> threads:int -> Parexec.Sim.par_result
+
+(** Cache-line heatmap of the expanded program at [threads]. *)
+val heat : t -> threads:int -> Parexec.Heat.t
+
+(** Heatmap of an alternative transformation of the same workload (the
+    bonded-vs-interleaved ablation), validated against the sequential
+    oracle. *)
+val heat_of : t -> Expand.Transform.result -> threads:int -> Parexec.Heat.t
 
 val loop_cycles_seq : t -> int
 val loop_cycles_par : ?rp:bool -> t -> threads:int -> int

@@ -217,6 +217,53 @@ let fig14 (benches : Bench_run.t list) : string =
         ]
       rows
 
+(** Mean per-copy span utilization of the private copies (copy 0 is
+    the shared data, not an expanded copy). *)
+let mean_util (h : Parexec.Heat.t) : string =
+  match
+    List.filter (fun c -> c.Parexec.Heat.hc_copy > 0) h.Parexec.Heat.copies
+  with
+  | [] -> "-"
+  | cs ->
+    Tables.fx
+      (List.fold_left (fun a c -> a +. c.Parexec.Heat.hc_util) 0.0 cs
+      /. float_of_int (List.length cs))
+
+(** The bonded-vs-interleaved heatmap ablation (§3.1): per workload,
+    the attributed lines, false-sharing lines and mean copy
+    utilization of each layout at [threads]. Workloads the interleaved
+    transformer rejects (recast structures, heap blocks) report "-". *)
+let heatmap (benches : Bench_run.t list) ~(threads : int) : string =
+  let rows =
+    List.concat_map
+      (fun b ->
+        let row mode (h : Parexec.Heat.t) =
+          [
+            name b;
+            mode;
+            string_of_int threads;
+            string_of_int h.Parexec.Heat.total_lines;
+            string_of_int h.Parexec.Heat.false_sharing_lines;
+            string_of_int (List.length h.Parexec.Heat.copies);
+            mean_util h;
+          ]
+        in
+        let bonded = row "bonded" (Bench_run.heat b ~threads) in
+        let interleaved =
+          match
+            Expand.Transform.expand_loops ~mode:Expand.Plan.Interleaved
+              b.Bench_run.prog b.Bench_run.analyses
+          with
+          | r -> row "interleaved" (Bench_run.heat_of b r ~threads)
+          | exception Expand.Transform.Unsupported _ ->
+            [ name b; "interleaved"; "-"; "-"; "-"; "-"; "-" ]
+        in
+        [ bonded; interleaved ])
+      benches
+  in
+  "Heatmap: cache-line attribution, bonded vs interleaved layout\n"
+  ^ Tables.heat_summary_table rows
+
 (* thunked so that selecting a subset only runs what it needs *)
 let all (benches : Bench_run.t list) : (string * (unit -> string)) list =
   [
@@ -231,4 +278,5 @@ let all (benches : Bench_run.t list) : (string * (unit -> string)) list =
     ("fig13", fun () -> fig13 benches);
     ("fig14", fun () -> fig14 benches);
     ("metrics", fun () -> metrics benches ~threads:4);
+    ("heatmap", fun () -> heatmap benches ~threads:4);
   ]

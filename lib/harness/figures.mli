@@ -18,6 +18,12 @@ val metrics : Bench_run.t list -> threads:int -> string
 val fig13 : Bench_run.t list -> string
 val fig14 : Bench_run.t list -> string
 
+(** The bonded-vs-interleaved heatmap ablation (§3.1): per workload,
+    attributed lines, false-sharing lines and mean copy utilization of
+    each layout at [threads]; workloads the interleaved transformer
+    rejects report "-". *)
+val heatmap : Bench_run.t list -> threads:int -> string
+
 (** Every artifact by name, thunked so that selecting a subset only
     runs the measurements it needs. *)
 val all : Bench_run.t list -> (string * (unit -> string)) list

@@ -8,12 +8,24 @@
     suffer rising miss rates — both effects emerge from this model
     rather than being scripted. *)
 
+(** Access class of an attributed touch (mirrors
+    [Privatize.Classify.verdict] without depending on it). *)
+type attr_class = Private | Shared | Induction
+
+(** Who touched a line: simulated thread, access class, and the
+    private copy addressed (0 = the shared/original copy). *)
+type attr = { at_thread : int; at_class : attr_class; at_copy : int }
+
 type t = {
   sets : int array array;  (** per set: tags in LRU order (index 0 = MRU) *)
   set_count : int;
   line_bits : int;
   mutable hits : int;
   mutable misses : int;
+  attrs : (int * attr, int) Hashtbl.t;
+      (** (line, attribution) -> touch count; fed by {!attribute},
+          separate from the LRU state so the hook costs nothing when
+          unused *)
 }
 
 let create ~size_bytes ~assoc ~line_bytes =
@@ -27,12 +39,14 @@ let create ~size_bytes ~assoc ~line_bytes =
        bits line_bytes);
     hits = 0;
     misses = 0;
+    attrs = Hashtbl.create 64;
   }
 
 let reset c =
   Array.iter (fun set -> Array.fill set 0 (Array.length set) (-1)) c.sets;
   c.hits <- 0;
-  c.misses <- 0
+  c.misses <- 0;
+  Hashtbl.reset c.attrs
 
 (** Touch one cache line; returns [true] on hit. *)
 let access_line (c : t) (line : int) : bool =
@@ -68,6 +82,28 @@ let access (c : t) ~addr ~size : bool =
     if not (access_line c line) then all_hit := false
   done;
   !all_hit
+
+(** Record who touched the lines covered by [addr, addr+size) — the
+    heatmap hook. Attribution is bookkeeping on the side: it never
+    perturbs LRU state, hits or misses. *)
+let attribute (c : t) (a : attr) ~addr ~size : unit =
+  let first = addr lsr c.line_bits in
+  let last = (addr + max 1 size - 1) lsr c.line_bits in
+  for line = first to last do
+    let key = (line, a) in
+    Hashtbl.replace c.attrs key
+      (1 + Option.value ~default:0 (Hashtbl.find_opt c.attrs key))
+  done
+
+(** All recorded attributions as (line, attr, touches), sorted. *)
+let line_attribution (c : t) : (int * attr * int) list =
+  Hashtbl.fold (fun (line, a) n acc -> (line, a, n) :: acc) c.attrs []
+  |> List.sort compare
+
+let attributed_lines (c : t) : int =
+  List.length
+    (List.sort_uniq compare
+       (Hashtbl.fold (fun (line, _) _ acc -> line :: acc) c.attrs []))
 
 let hit_rate c =
   let total = c.hits + c.misses in

@@ -5,10 +5,32 @@
     counted as DRAM traffic, which feeds the shared-bandwidth bound
     (470.lbm's plateau in the paper's Figure 11). *)
 
+(** Access class of an attributed touch (mirrors
+    [Privatize.Classify.verdict] without depending on it). *)
+type attr_class = Private | Shared | Induction
+
+(** Who touched a line: simulated thread, access class, and the
+    private copy addressed (0 = the shared/original copy). *)
+type attr = { at_thread : int; at_class : attr_class; at_copy : int }
+
 type t
 
 val create : size_bytes:int -> assoc:int -> line_bytes:int -> t
+
+(** Clear LRU state, hit/miss counters {e and} per-line attribution: a
+    reused cache must report exactly what a fresh one would. *)
 val reset : t -> unit
+
+(** Record who touched the lines covered by [addr, addr+size) — the
+    heatmap hook. Pure bookkeeping: never perturbs LRU state or the
+    hit/miss counters. *)
+val attribute : t -> attr -> addr:int -> size:int -> unit
+
+(** All recorded attributions as (line, attr, touches), sorted. *)
+val line_attribution : t -> (int * attr * int) list
+
+(** Number of distinct lines with at least one attribution. *)
+val attributed_lines : t -> int
 
 (** Touch every line the access [addr, addr+size) covers; [true] iff
     all of them hit. Updates LRU state and hit/miss counters. *)

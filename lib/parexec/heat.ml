@@ -1,0 +1,217 @@
+(** Cache-line heatmap: who touched which line, built from the
+    per-line attributions the simulated L1 caches record
+    ({!Cache.attribute}).
+
+    The headline product is the {e false-sharing detector}: a line is
+    false-shared when at least two simulated threads touch it through
+    {e different} private copies — exactly the collision the paper's
+    §3.1 interleaved layout invites (copies of a member are packed
+    [sizeof(member)] apart, so one line straddles several threads'
+    copies) and the bonded layout avoids. Per-copy span utilization
+    (distinct lines touched / line span of the copy) distinguishes the
+    two layouts from the other side: bonded copies are dense,
+    interleaved copies scatter over the whole structure's span. *)
+
+type line_stat = {
+  hl_line : int;  (** line index (address lsr line bits) *)
+  hl_touches : int;
+  hl_threads : int list;  (** distinct touching threads, sorted *)
+  hl_classes : Cache.attr_class list;  (** distinct classes, sorted *)
+  hl_copies : int list;  (** distinct private copies, sorted *)
+  hl_false_sharing : bool;
+}
+
+(** Footprint of one private copy (copy 0 = shared data). A copy's
+    lines fall into one cluster per expanded object; [hc_span_lines]
+    sums the clusters' spans (runs separated by more than
+    [cluster_gap] lines) so unrelated objects far apart in memory do
+    not drown the utilization. *)
+type copy_stat = {
+  hc_copy : int;
+  hc_lines : int;  (** distinct lines touched *)
+  hc_span_lines : int;  (** summed span of the copy's line clusters *)
+  hc_util : float;  (** hc_lines / hc_span_lines *)
+}
+
+type t = {
+  line_bytes : int;
+  total_lines : int;  (** distinct lines with any attribution *)
+  total_touches : int;
+  false_sharing_lines : int;
+  lines : line_stat list;  (** sorted by line index *)
+  copies : copy_stat list;  (** sorted by copy id *)
+}
+
+let class_name = function
+  | Cache.Private -> "private"
+  | Cache.Shared -> "shared"
+  | Cache.Induction -> "induction"
+
+(* deterministic order for mixed class lists *)
+let class_rank = function
+  | Cache.Private -> 0
+  | Cache.Shared -> 1
+  | Cache.Induction -> 2
+
+(** Merge the attributions of every thread's L1 into one heatmap.
+    [line_bytes] is the simulated line size (for the report header
+    only; the line indices already encode it). *)
+let build ~(line_bytes : int) (caches : Cache.t array) : t =
+  (* line -> attr -> touches, merged across threads *)
+  let merged : (int * Cache.attr, int) Hashtbl.t = Hashtbl.create 256 in
+  Array.iter
+    (fun c ->
+      List.iter
+        (fun (line, a, n) ->
+          let key = (line, a) in
+          Hashtbl.replace merged key
+            (n + Option.value ~default:0 (Hashtbl.find_opt merged key)))
+        (Cache.line_attribution c))
+    caches;
+  let by_line : (int, (Cache.attr * int) list) Hashtbl.t = Hashtbl.create 256 in
+  Hashtbl.iter
+    (fun (line, a) n ->
+      Hashtbl.replace by_line line
+        ((a, n) :: Option.value ~default:[] (Hashtbl.find_opt by_line line)))
+    merged;
+  let lines =
+    Hashtbl.fold
+      (fun line attrs acc ->
+        let attrs = List.sort compare attrs in
+        let touches = List.fold_left (fun s (_, n) -> s + n) 0 attrs in
+        let threads =
+          List.sort_uniq compare
+            (List.map (fun ((a : Cache.attr), _) -> a.Cache.at_thread) attrs)
+        in
+        let classes =
+          List.sort_uniq
+            (fun a b -> compare (class_rank a) (class_rank b))
+            (List.map (fun ((a : Cache.attr), _) -> a.Cache.at_class) attrs)
+        in
+        let private_attrs =
+          List.filter
+            (fun ((a : Cache.attr), _) -> a.Cache.at_class = Cache.Private)
+            attrs
+        in
+        let copies =
+          List.sort_uniq compare
+            (List.map
+               (fun ((a : Cache.attr), _) -> a.Cache.at_copy)
+               private_attrs)
+        in
+        let private_threads =
+          List.sort_uniq compare
+            (List.map
+               (fun ((a : Cache.attr), _) -> a.Cache.at_thread)
+               private_attrs)
+        in
+        let false_sharing =
+          List.length private_threads >= 2 && List.length copies >= 2
+        in
+        {
+          hl_line = line;
+          hl_touches = touches;
+          hl_threads = threads;
+          hl_classes = classes;
+          hl_copies = copies;
+          hl_false_sharing = false_sharing;
+        }
+        :: acc)
+      by_line []
+    |> List.sort (fun a b -> compare a.hl_line b.hl_line)
+  in
+  (* per-copy footprint over the private attributions *)
+  let copy_lines : (int, int list) Hashtbl.t = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun (line, (a : Cache.attr)) _ ->
+      if a.Cache.at_class = Cache.Private then
+        Hashtbl.replace copy_lines a.Cache.at_copy
+          (line
+          :: Option.value ~default:[]
+               (Hashtbl.find_opt copy_lines a.Cache.at_copy)))
+    merged;
+  (* lines further apart than this start a new cluster (a different
+     expanded object): 64 lines = one 4 KiB page at 64 B lines *)
+  let cluster_gap = 64 in
+  let clustered_span ls =
+    match ls with
+    | [] -> 0
+    | first :: rest ->
+      let span, lo, hi =
+        List.fold_left
+          (fun (span, lo, hi) l ->
+            if l - hi > cluster_gap then (span + (hi - lo + 1), l, l)
+            else (span, lo, l))
+          (0, first, first) rest
+      in
+      span + (hi - lo + 1)
+  in
+  let copies =
+    Hashtbl.fold
+      (fun copy ls acc ->
+        let ls = List.sort_uniq compare ls in
+        let span = clustered_span ls in
+        {
+          hc_copy = copy;
+          hc_lines = List.length ls;
+          hc_span_lines = span;
+          hc_util = float_of_int (List.length ls) /. float_of_int span;
+        }
+        :: acc)
+      copy_lines []
+    |> List.sort (fun a b -> compare a.hc_copy b.hc_copy)
+  in
+  {
+    line_bytes;
+    total_lines = List.length lines;
+    total_touches = List.fold_left (fun s l -> s + l.hl_touches) 0 lines;
+    false_sharing_lines =
+      List.length (List.filter (fun l -> l.hl_false_sharing) lines);
+    lines;
+    copies;
+  }
+
+(** The heatmap JSON artifact (schema dsexpand-heatmap/1); [extra]
+    fields (workload name, mode, threads) go first so the file is
+    self-describing. Fully deterministic for a fixed simulation. *)
+let to_json ?(extra : (string * Telemetry.Json.t) list = []) (h : t) :
+    Telemetry.Json.t =
+  let open Telemetry.Json in
+  Obj
+    ([ ("schema", Str "dsexpand-heatmap/1") ]
+    @ extra
+    @ [
+        ("line_bytes", Int h.line_bytes);
+        ("total_lines", Int h.total_lines);
+        ("total_touches", Int h.total_touches);
+        ("false_sharing_lines", Int h.false_sharing_lines);
+        ( "lines",
+          List
+            (List.map
+               (fun l ->
+                 Obj
+                   [
+                     ("line", Int l.hl_line);
+                     ("touches", Int l.hl_touches);
+                     ("threads", List (List.map (fun t -> Int t) l.hl_threads));
+                     ( "classes",
+                       List
+                         (List.map (fun c -> Str (class_name c)) l.hl_classes)
+                     );
+                     ("copies", List (List.map (fun c -> Int c) l.hl_copies));
+                     ("false_sharing", Bool l.hl_false_sharing);
+                   ])
+               h.lines) );
+        ( "copies",
+          List
+            (List.map
+               (fun c ->
+                 Obj
+                   [
+                     ("copy", Int c.hc_copy);
+                     ("lines", Int c.hc_lines);
+                     ("span_lines", Int c.hc_span_lines);
+                     ("util", Float c.hc_util);
+                   ])
+               h.copies) );
+      ])

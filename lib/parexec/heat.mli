@@ -1,0 +1,45 @@
+(** Cache-line heatmap built from the per-line attributions the
+    simulated L1 caches record ({!Cache.attribute}): who touched which
+    line, a false-sharing detector (a line touched by two or more
+    threads through different private copies), and per-copy
+    span-utilization stats that separate the bonded layout (dense
+    copies) from the interleaved one (scattered copies). *)
+
+type line_stat = {
+  hl_line : int;  (** line index (address lsr line bits) *)
+  hl_touches : int;
+  hl_threads : int list;  (** distinct touching threads, sorted *)
+  hl_classes : Cache.attr_class list;  (** distinct classes, sorted *)
+  hl_copies : int list;  (** distinct private copies, sorted *)
+  hl_false_sharing : bool;
+}
+
+(** Footprint of one private copy (copy 0 = shared data). A copy's
+    lines are grouped into clusters (runs separated by more than 64
+    lines — distinct expanded objects); [hc_span_lines] sums the
+    clusters' spans so utilization measures density within objects. *)
+type copy_stat = {
+  hc_copy : int;
+  hc_lines : int;  (** distinct lines touched *)
+  hc_span_lines : int;  (** summed span of the copy's line clusters *)
+  hc_util : float;  (** hc_lines / hc_span_lines *)
+}
+
+type t = {
+  line_bytes : int;
+  total_lines : int;  (** distinct lines with any attribution *)
+  total_touches : int;
+  false_sharing_lines : int;
+  lines : line_stat list;  (** sorted by line index *)
+  copies : copy_stat list;  (** sorted by copy id *)
+}
+
+val class_name : Cache.attr_class -> string
+
+(** Merge the attributions of every thread's L1 into one heatmap. *)
+val build : line_bytes:int -> Cache.t array -> t
+
+(** The heatmap JSON artifact (schema dsexpand-heatmap/1); [extra]
+    fields (workload name, mode, threads) go first so the file is
+    self-describing. Deterministic for a fixed simulation. *)
+val to_json : ?extra:(string * Telemetry.Json.t) list -> t -> Telemetry.Json.t

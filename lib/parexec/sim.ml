@@ -223,6 +223,8 @@ type par_result = {
   pr_dram_bytes : int;  (** DRAM traffic inside the target loops *)
   pr_cache_stall : int;
       (** cache-penalty cycles charged inside the target loops *)
+  pr_heat : Heat.t option;
+      (** cache-line heatmap, when a [heatmap] classifier was given *)
 }
 
 (* The simulator only needs the expansion runtime globals' names, so
@@ -291,9 +293,15 @@ type active_loop = {
 }
 
 (** Simulate a parallel run of [prog] (an expanded program reading
-    [__tid]/[__nthreads]) on [threads] threads. *)
-let run_parallel ?(machine = default_machine) ?rp ?attach (prog : Ast.program)
-    (specs : loop_spec list) ~(threads : int) : par_result =
+    [__tid]/[__nthreads]) on [threads] threads.
+
+    [heatmap], when given, maps each access id to its access class;
+    accesses inside the target loops are then attributed to the
+    running thread's L1 lines (private accesses to copy [tid], the
+    rest to copy 0) and the result carries a {!Heat.t}. *)
+let run_parallel ?(machine = default_machine) ?rp ?heatmap ?attach
+    (prog : Ast.program) (specs : loop_spec list) ~(threads : int) : par_result
+    =
   let lids = List.map (fun s -> s.lid) specs in
   let counts = count_iterations prog threads lids in
   let m = Interp.Machine.load prog in
@@ -353,6 +361,19 @@ let run_parallel ?(machine = default_machine) ?rp ?attach (prog : Ast.program)
   st.Interp.Machine.observer <-
     Some
       (fun aid kind addr size ->
+        (* heatmap attribution: inside a target loop, charge the lines
+           of this access to the thread running the iteration (copy =
+           tid for private accesses, copy 0 for everything else) *)
+        (match (heatmap, !active) with
+        | Some classify_aid, Some _ ->
+          let t = !cur_cache_thread in
+          let cls = classify_aid aid in
+          let copy = match cls with Cache.Private -> t | _ -> 0 in
+          Cache.attribute
+            tctx.(t).l1
+            { Cache.at_thread = t; at_class = cls; at_copy = copy }
+            ~addr ~size
+        | _ -> ());
         (match rp with
         | Some rp when Hashtbl.mem rp.rp_monitored aid ->
           st.Interp.Machine.cycles <-
@@ -572,6 +593,20 @@ let run_parallel ?(machine = default_machine) ?rp ?attach (prog : Ast.program)
   (* simulated total = measured total with each target loop's measured
      execution replaced by its simulated parallel time *)
   let sum tbl = Hashtbl.fold (fun _ d acc -> acc + d) tbl 0 in
+  let heat =
+    match heatmap with
+    | Some _ ->
+      Some
+        (Heat.build ~line_bytes:machine.line_bytes
+           (Array.map (fun t -> t.l1) tctx))
+    | None -> None
+  in
+  (match heat with
+  | Some h when Telemetry.Sink.enabled () ->
+    Telemetry.Span.count "heat.lines_touched" h.Heat.total_lines;
+    Telemetry.Span.count "heat.touches" h.Heat.total_touches;
+    Telemetry.Span.count "heat.false_sharing_lines" h.Heat.false_sharing_lines
+  | _ -> ());
   if Telemetry.Sink.enabled () then begin
     let count = Telemetry.Span.count in
     let sum_cache f = Array.fold_left (fun acc t -> acc + f t) 0 tctx in
@@ -612,6 +647,7 @@ let run_parallel ?(machine = default_machine) ?rp ?attach (prog : Ast.program)
     pr_rp_touched_bytes = 8 * Hashtbl.length rp_touched;
     pr_dram_bytes = !total_dram;
     pr_cache_stall = !cache_stall;
+    pr_heat = heat;
     pr_iterations =
       List.map
         (fun l ->

@@ -97,16 +97,24 @@ type par_result = {
   pr_dram_bytes : int;  (** DRAM traffic inside the target loops *)
   pr_cache_stall : int;
       (** cache-penalty cycles charged inside the target loops *)
+  pr_heat : Heat.t option;
+      (** cache-line heatmap, when a [heatmap] classifier was given *)
 }
 
 (** Simulate a parallel run of an expanded program (one reading
     [__tid]/[__nthreads]) on [threads] threads. [attach] is invoked on
     the measured machine after the simulator installs its own hooks and
     just before execution (the iteration-counting pre-run is left
-    unattached), so guards / fault injectors can chain onto them. *)
+    unattached), so guards / fault injectors can chain onto them.
+
+    [heatmap] maps each access id to its access class; when given,
+    accesses inside the target loops are attributed to the running
+    thread's L1 lines (private accesses to copy [tid], the rest to
+    copy 0) and the result carries a {!Heat.t}. *)
 val run_parallel :
   ?machine:machine_params ->
   ?rp:runtime_priv ->
+  ?heatmap:(Ast.aid -> Cache.attr_class) ->
   ?attach:(Interp.Machine.t -> unit) ->
   Ast.program ->
   loop_spec list ->

@@ -37,6 +37,19 @@ let analyze (prog : Ast.program) (lid : Ast.lid) : result =
     in
     Telemetry.Span.count "classify.classes.private" (tally Classify.Private);
     Telemetry.Span.count "classify.classes.shared" (tally Classify.Shared);
-    Telemetry.Span.count "classify.classes.induction" (tally Classify.Induction)
+    Telemetry.Span.count "classify.classes.induction" (tally Classify.Induction);
+    (* decision provenance: how often each Definition-4/5 rule fired,
+       and how many dependence edges back the verdicts up *)
+    List.iter
+      (fun (p : Classify.provenance) ->
+        Telemetry.Span.count
+          ("classify.rule."
+          ^ String.map
+              (fun c -> if c = ' ' || c = '/' then '_' else c)
+              (Classify.rule_name p.Classify.p_rule))
+          1;
+        Telemetry.Span.count "classify.evidence.edges"
+          (List.length p.Classify.p_evidence))
+      classification.Classify.provenance
   end;
   { profile; classification; induction_vars; loop_stmt; loop_fun }

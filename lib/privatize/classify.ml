@@ -34,11 +34,45 @@ type reason =
   | No_carried_anti_or_output
 [@@deriving show { with_path = false }, eq]
 
+(** Which Definition-4/5 condition decided a class — the machine-readable
+    face of [reason], paired with concrete evidence for --explain. *)
+type rule =
+  | Rule_private  (** every condition of Definition 5 held *)
+  | Rule_upwards_exposed  (** rejected: upwards-exposed load (Def. 2) *)
+  | Rule_downwards_exposed  (** rejected: downwards-exposed store (Def. 3) *)
+  | Rule_carried_flow  (** rejected: loop-carried flow dependence *)
+  | Rule_no_carried_anti_output
+      (** rejected: no carried anti/output dependence, so expansion
+          would buy nothing *)
+  | Rule_induction  (** runtime-managed basic induction variable *)
+[@@deriving show { with_path = false }, eq]
+
+let rule_name = function
+  | Rule_private -> "carried anti/output, no exposure"
+  | Rule_upwards_exposed -> "upwards-exposed load"
+  | Rule_downwards_exposed -> "downwards-exposed store"
+  | Rule_carried_flow -> "loop-carried flow"
+  | Rule_no_carried_anti_output -> "no carried anti/output"
+  | Rule_induction -> "induction variable"
+
+(** Decision record for one access class: the verdict, the rule that
+    fired, the member access that triggered it (if any) and the
+    dependence edges cited as evidence. *)
+type provenance = {
+  p_aids : Ast.aid list;  (** class members, sorted *)
+  p_verdict : verdict;
+  p_rule : rule;
+  p_witness : Ast.aid option;  (** member that fired the rule *)
+  p_evidence : Depgraph.Graph.edge list;  (** sorted, deduplicated *)
+}
+
 type classification = {
   graph : Depgraph.Graph.t;
   verdicts : (Ast.aid, verdict) Hashtbl.t;
   classes : (Ast.aid list * verdict * reason) list;
       (** every access class with its verdict and justification *)
+  provenance : provenance list;
+      (** one decision record per class, in [classes] order *)
 }
 
 (** Partition the accesses of [g] into classes and classify each.
@@ -70,18 +104,157 @@ let classify ?(induction : Ast.aid list = []) (g : Depgraph.Graph.t) :
             then (Private, Accepted)
             else (Shared, No_carried_anti_or_output)))
   in
+  (* The edges a decision cites: for the rule that fired, the concrete
+     dependences that make it true. Exposure marks are witnessed by a
+     value flowing across the loop boundary — the profiler records the
+     fact but no edge (the outside party is not a loop site) — so the
+     citation leads with a synthesized boundary flow edge, followed by
+     whatever in-loop edges the witness participates in. *)
+  let evidence (cls : Ast.aid list) (v : verdict) (r : reason) :
+      rule * Ast.aid option * Depgraph.Graph.edge list =
+    let carried_anti_output (e : Depgraph.Graph.edge) =
+      e.Depgraph.Graph.e_carried
+      && (e.Depgraph.Graph.e_kind = Depgraph.Graph.Anti
+          || e.Depgraph.Graph.e_kind = Depgraph.Graph.Output)
+    in
+    let carried_flow (e : Depgraph.Graph.edge) =
+      e.Depgraph.Graph.e_carried
+      && e.Depgraph.Graph.e_kind = Depgraph.Graph.Flow
+    in
+    let class_edges pred =
+      List.filter pred (Depgraph.Graph.edges_involving_any g cls)
+    in
+    let or_class_edges = function
+      | [] -> class_edges (fun _ -> true)
+      | es -> es
+    in
+    let flow_in w =
+      (* a pre-loop (or previous-invocation) value reaches this load *)
+      Depgraph.Graph.
+        { e_src = boundary; e_dst = w; e_kind = Flow; e_carried = false }
+    in
+    let flow_out w =
+      (* this store's value is read after the loop *)
+      Depgraph.Graph.
+        { e_src = w; e_dst = boundary; e_kind = Flow; e_carried = false }
+    in
+    match (v, r) with
+    | Induction, _ ->
+      ( Rule_induction,
+        None,
+        class_edges (fun e -> e.Depgraph.Graph.e_carried) )
+    | _, Accepted -> (Rule_private, None, class_edges carried_anti_output)
+    | _, Has_upwards_exposed w ->
+      ( Rule_upwards_exposed,
+        Some w,
+        flow_in w :: Depgraph.Graph.edges_involving g w )
+    | _, Has_downwards_exposed w ->
+      ( Rule_downwards_exposed,
+        Some w,
+        flow_out w :: Depgraph.Graph.edges_involving g w )
+    | _, Has_carried_flow w ->
+      ( Rule_carried_flow,
+        Some w,
+        or_class_edges
+          (List.filter carried_flow (Depgraph.Graph.edges_involving g w)) )
+    | _, No_carried_anti_or_output -> (
+      ( Rule_no_carried_anti_output,
+        None,
+        match class_edges (fun _ -> true) with
+        | [] ->
+          (* a class with no in-loop edges at all: its stores were
+             overwritten after the loop without being read — cite those
+             boundary output dependences *)
+          List.filter_map
+            (fun a ->
+              if Depgraph.Graph.is_killed_after_loop g a then
+                Some
+                  Depgraph.Graph.
+                    {
+                      e_src = a;
+                      e_dst = boundary;
+                      e_kind = Output;
+                      e_carried = false;
+                    }
+              else None)
+            cls
+        | es -> es ))
+  in
+  (* Sites that never executed inside the loop generate no class:
+     Definition 4's equivalence is over observed accesses, and the
+     profile knows nothing about a dead site (its accesses default to
+     Shared in [verdict], which is what the transformer assumed
+     anyway). *)
+  let observed (cls : Ast.aid list) =
+    List.exists
+      (fun a ->
+        Depgraph.Graph.dyn_count g a > 0
+        || Depgraph.Graph.is_upwards_exposed g a
+        || Depgraph.Graph.is_downwards_exposed g a
+        || List.mem a induction
+        || Depgraph.Graph.edges_involving g a <> [])
+      cls
+  in
   let classes =
+    (* sorted members, then classes sorted by first member: the
+       provenance list (and the --explain table built from it) must be
+       deterministic *)
+    List.map (List.sort compare) (Union_find.classes uf)
+    |> List.filter observed
+    |> List.sort compare
+    |> List.map (fun cls ->
+           let v, r = judge cls in
+           (cls, v, r))
+  in
+  let provenance =
     List.map
-      (fun cls ->
-        let v, r = judge cls in
-        (cls, v, r))
-      (Union_find.classes uf)
+      (fun (cls, v, r) ->
+        let p_rule, p_witness, p_evidence = evidence cls v r in
+        { p_aids = cls; p_verdict = v; p_rule; p_witness; p_evidence })
+      classes
   in
   let verdicts = Hashtbl.create 64 in
   List.iter
     (fun (cls, v, _) -> List.iter (fun a -> Hashtbl.replace verdicts a v) cls)
     classes;
-  { graph = g; verdicts; classes }
+  { graph = g; verdicts; classes; provenance }
+
+let verdict_name = function
+  | Private -> "private"
+  | Shared -> "shared"
+  | Induction -> "induction"
+
+(** Rows of the --explain provenance table: class members, verdict,
+    rule, triggering member and cited dependence edges, rendered
+    against the graph's site texts. *)
+let explain_rows (c : classification) : string list list =
+  let g = c.graph in
+  List.map
+    (fun p ->
+      let members =
+        String.concat ", " (List.map (Depgraph.Graph.site_text g) p.p_aids)
+      in
+      let witness =
+        match p.p_witness with
+        | Some w -> Depgraph.Graph.site_text g w
+        | None -> "-"
+      in
+      let evidence =
+        match p.p_evidence with
+        | [] ->
+          (* only dependence-free stores land here: every byte they
+             wrote was neither read nor overwritten again, so the
+             profile holds no edge to cite *)
+          Printf.sprintf "(dependence-free: 0 edges over %d dynamic accesses)"
+            (List.fold_left
+               (fun acc a -> acc + Depgraph.Graph.dyn_count g a)
+               0 p.p_aids)
+        | es -> String.concat "; " (List.map (Depgraph.Graph.cite_edge g) es)
+      in
+      [
+        members; verdict_name p.p_verdict; rule_name p.p_rule; witness; evidence;
+      ])
+    c.provenance
 
 let verdict (c : classification) (aid : Ast.aid) : verdict =
   Option.value ~default:Shared (Hashtbl.find_opt c.verdicts aid)

@@ -32,11 +32,40 @@ type reason =
 val pp_reason : Format.formatter -> reason -> unit
 val show_reason : reason -> string
 
+(** Which Definition-4/5 condition decided a class — the
+    machine-readable face of [reason], paired with evidence. *)
+type rule =
+  | Rule_private  (** every condition of Definition 5 held *)
+  | Rule_upwards_exposed  (** rejected: upwards-exposed load (Def. 2) *)
+  | Rule_downwards_exposed  (** rejected: downwards-exposed store (Def. 3) *)
+  | Rule_carried_flow  (** rejected: loop-carried flow dependence *)
+  | Rule_no_carried_anti_output
+      (** rejected: no carried anti/output dependence to remove *)
+  | Rule_induction  (** runtime-managed basic induction variable *)
+
+val pp_rule : Format.formatter -> rule -> unit
+val show_rule : rule -> string
+val equal_rule : rule -> rule -> bool
+val rule_name : rule -> string
+
+(** Decision record for one access class: the verdict, the rule that
+    fired, the member that triggered it (if any) and the dependence
+    edges cited as evidence. *)
+type provenance = {
+  p_aids : Ast.aid list;  (** class members, sorted *)
+  p_verdict : verdict;
+  p_rule : rule;
+  p_witness : Ast.aid option;  (** member that fired the rule *)
+  p_evidence : Depgraph.Graph.edge list;  (** sorted, deduplicated *)
+}
+
 type classification = {
   graph : Depgraph.Graph.t;
   verdicts : (Ast.aid, verdict) Hashtbl.t;
   classes : (Ast.aid list * verdict * reason) list;
       (** every access class with its verdict and justification *)
+  provenance : provenance list;
+      (** one decision record per class, in [classes] order *)
 }
 
 (** Partition the accesses of the graph into classes and classify
@@ -45,6 +74,13 @@ type classification = {
     rather than expanded. *)
 val classify :
   ?induction:Ast.aid list -> Depgraph.Graph.t -> classification
+
+val verdict_name : verdict -> string
+
+(** Rows of the --explain provenance table (class members, verdict,
+    rule, triggering member, cited edges), rendered against the
+    graph's site texts; deterministic order. *)
+val explain_rows : classification -> string list list
 
 val verdict : classification -> Ast.aid -> verdict
 val is_private : classification -> Ast.aid -> bool

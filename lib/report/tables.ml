@@ -113,6 +113,42 @@ let metrics_table (rows : metrics_row list) : string =
       @ breakdown_header)
     (List.map cells rows @ summary)
 
+(** Classification provenance (--explain): one row per access class,
+    from [Privatize.Classify.explain_rows]. *)
+let explain_table (rows : string list list) : string =
+  render
+    ~header:[ "access class"; "verdict"; "rule fired"; "trigger"; "evidence" ]
+    rows
+
+(** Layout provenance (--explain): one row per object of the expansion
+    set, from [Expand.Plan.layout_rows]. *)
+let layout_table (rows : string list list) : string =
+  render
+    ~header:[ "object"; "kind"; "layout"; "interleavable"; "copy span"; "why" ]
+    rows
+
+(** Heatmap summary (--heatmap / experiments heatmap): one row per
+    (workload, mode) simulation. *)
+let heat_summary_table (rows : string list list) : string =
+  render
+    ~header:
+      [
+        "workload";
+        "mode";
+        "threads";
+        "lines";
+        "false sharing";
+        "copies";
+        "mean util";
+      ]
+    rows
+
+(** Per-line heatmap detail: one row per attributed cache line. *)
+let heat_lines_table (rows : string list list) : string =
+  render
+    ~header:[ "line"; "touches"; "threads"; "classes"; "copies"; "false sharing" ]
+    rows
+
 (** Render an aggregator's counters as a two-column table. *)
 let counters_table (counters : (string * int) list) : string =
   render ~header:[ "counter"; "value" ]

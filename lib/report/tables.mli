@@ -49,6 +49,22 @@ type metrics_row = {
     speedup columns when there are at least two rows. *)
 val metrics_table : metrics_row list -> string
 
+(** Classification provenance (--explain): one row per access class,
+    from [Privatize.Classify.explain_rows]. *)
+val explain_table : string list list -> string
+
+(** Layout provenance (--explain): one row per object of the expansion
+    set, from [Expand.Plan.layout_rows]. *)
+val layout_table : string list list -> string
+
+(** Heatmap summary: one row per (workload, mode) simulation —
+    workload, mode, threads, lines, false-sharing lines, copies, mean
+    utilization. *)
+val heat_summary_table : string list list -> string
+
+(** Per-line heatmap detail: one row per attributed cache line. *)
+val heat_lines_table : string list list -> string
+
 (** Render an aggregator's counters as a two-column table. *)
 val counters_table : (string * int) list -> string
 

@@ -72,3 +72,165 @@ let to_string (v : t) : string =
   let buf = Buffer.create 256 in
   to_buffer buf v;
   Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse_error of string
+
+(** Recursive-descent parser for the subset this library emits (plus
+    standard whitespace and escapes) — enough to read back
+    [BENCH_results.json]-style files for the bench regression gate
+    without pulling in a JSON dependency. Numbers without [.]/[e]
+    parse as [Int], everything else as [Float]. *)
+let of_string_exn (s : string) : t =
+  let n = String.length s in
+  let pos = ref 0 in
+  let error msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then s.[!pos] else error "unexpected end" in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    if !pos < n then
+      match s.[!pos] with
+      | ' ' | '\t' | '\n' | '\r' ->
+        advance ();
+        skip_ws ()
+      | _ -> ()
+  in
+  let expect c =
+    if peek () <> c then error (Printf.sprintf "expected '%c'" c);
+    advance ()
+  in
+  let literal word v =
+    String.iter expect word;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '"' -> advance ()
+      | '\\' ->
+        advance ();
+        (match peek () with
+        | 'n' -> Buffer.add_char b '\n'
+        | 't' -> Buffer.add_char b '\t'
+        | 'r' -> Buffer.add_char b '\r'
+        | 'b' -> Buffer.add_char b '\b'
+        | 'f' -> Buffer.add_char b '\012'
+        | 'u' ->
+          (* decode the four hex digits; non-ASCII code points come
+             back as '?' (the emitter only escapes control chars) *)
+          if !pos + 4 >= n then error "truncated \\u escape";
+          let hex = String.sub s (!pos + 1) 4 in
+          advance ();
+          advance ();
+          advance ();
+          (match int_of_string_opt ("0x" ^ hex) with
+          | Some c when c < 0x80 -> Buffer.add_char b (Char.chr c)
+          | Some _ -> Buffer.add_char b '?'
+          | None -> error "bad \\u escape")
+        | c -> Buffer.add_char b c);
+        advance ();
+        go ()
+      | c ->
+        Buffer.add_char b c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char c =
+      (c >= '0' && c <= '9')
+      || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while !pos < n && num_char s.[!pos] do
+      advance ()
+    done;
+    let text = String.sub s start (!pos - start) in
+    if String.contains text '.' || String.contains text 'e'
+       || String.contains text 'E'
+    then
+      match float_of_string_opt text with
+      | Some f -> Float f
+      | None -> error "bad number"
+    else
+      match int_of_string_opt text with
+      | Some i -> Int i
+      | None -> error "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          if peek () = ',' then begin
+            advance ();
+            members ((k, v) :: acc)
+          end
+          else begin
+            expect '}';
+            List.rev ((k, v) :: acc)
+          end
+        in
+        Obj (members [])
+      end
+    | '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = ']' then begin
+        advance ();
+        List []
+      end
+      else begin
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          if peek () = ',' then begin
+            advance ();
+            elements (v :: acc)
+          end
+          else begin
+            expect ']';
+            List.rev (v :: acc)
+          end
+        in
+        List (elements [])
+      end
+    | '"' -> Str (parse_string ())
+    | 't' -> literal "true" (Bool true)
+    | 'f' -> literal "false" (Bool false)
+    | 'n' -> literal "null" Null
+    | _ -> parse_number ()
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then error "trailing garbage";
+  v
+
+let of_string (s : string) : (t, string) result =
+  match of_string_exn s with
+  | v -> Ok v
+  | exception Parse_error msg -> Error msg
+
+(** Field of an object, [None] elsewhere. *)
+let member (k : string) (v : t) : t option =
+  match v with Obj fields -> List.assoc_opt k fields | _ -> None

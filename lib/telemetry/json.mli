@@ -14,3 +14,18 @@ type t =
 
 val to_buffer : Buffer.t -> t -> unit
 val to_string : t -> string
+
+exception Parse_error of string
+
+(** Parse the subset this library emits (all of standard JSON except
+    surrogate-pair [\u] escapes, which decode to ['?']). Numbers
+    without [.]/[e] parse as [Int], the rest as [Float]. Used to read
+    back bench/heatmap artifacts (the regression gate) without adding
+    a JSON dependency.
+    @raise Parse_error on malformed input. *)
+val of_string_exn : string -> t
+
+val of_string : string -> (t, string) result
+
+(** Field of an object, [None] elsewhere. *)
+val member : string -> t -> t option

@@ -1,0 +1,181 @@
+(* Tests for the --explain provenance machinery: the evidence laws
+   (every private class cites a loop-carried anti/output edge; every
+   shared class cites at least one dependence edge on the clean
+   workloads), loop-boundary evidence for exposure rejections, a
+   golden hash of the rendered md5 provenance table, and determinism
+   of repeated profiling+classification. *)
+
+open Privatize
+
+(* --- shared workload state (loaded once per process) --------------- *)
+
+let analyses_cache : (string, Analyze.result list) Hashtbl.t =
+  Hashtbl.create 8
+
+let analyses_of (name : string) : Analyze.result list =
+  match Hashtbl.find_opt analyses_cache name with
+  | Some a -> a
+  | None ->
+    let w = Workloads.Registry.find name in
+    let prog =
+      Minic.Typecheck.parse_and_check ~file:name w.Workloads.Workload.source
+    in
+    let a = List.map (Analyze.analyze prog) prog.Minic.Ast.parallel_loops in
+    Hashtbl.replace analyses_cache name a;
+    a
+
+let provenances name =
+  List.concat_map
+    (fun (a : Analyze.result) ->
+      a.Analyze.classification.Classify.provenance)
+    (analyses_of name)
+
+(* workloads where every shared verdict cites a concrete edge (the
+   others contain dependence-free dead stores, which honestly cite
+   their zero-edge profile instead) *)
+let clean_workloads = [ "dijkstra"; "md5"; "mpeg2-encoder"; "h263-encoder" ]
+
+let carried_anti_output (e : Depgraph.Graph.edge) =
+  e.Depgraph.Graph.e_carried
+  && (e.Depgraph.Graph.e_kind = Depgraph.Graph.Anti
+      || e.Depgraph.Graph.e_kind = Depgraph.Graph.Output)
+
+(* --- evidence laws -------------------------------------------------- *)
+
+let private_evidence_law =
+  QCheck.Test.make ~count:20
+    ~name:
+      "every private verdict cites a loop-carried anti/output edge \
+       (Definition 5)"
+    (QCheck.oneofl clean_workloads)
+    (fun name ->
+      List.for_all
+        (fun (p : Classify.provenance) ->
+          p.Classify.p_verdict <> Classify.Private
+          || (p.Classify.p_rule = Classify.Rule_private
+             && List.exists carried_anti_output p.Classify.p_evidence))
+        (provenances name))
+
+let shared_evidence_law =
+  QCheck.Test.make ~count:20
+    ~name:"every shared verdict cites at least one dependence edge"
+    (QCheck.oneofl clean_workloads)
+    (fun name ->
+      List.for_all
+        (fun (p : Classify.provenance) ->
+          p.Classify.p_verdict <> Classify.Shared
+          || p.Classify.p_evidence <> [])
+        (provenances name))
+
+let exposure_tests =
+  [
+    Alcotest.test_case
+      "exposure rejections lead with a loop-boundary flow edge" `Quick
+      (fun () ->
+        let exposure_provs =
+          List.filter
+            (fun (p : Classify.provenance) ->
+              p.Classify.p_rule = Classify.Rule_upwards_exposed
+              || p.Classify.p_rule = Classify.Rule_downwards_exposed)
+            (List.concat_map provenances clean_workloads)
+        in
+        Alcotest.(check bool)
+          "some exposure rejections exist" true
+          (exposure_provs <> []);
+        List.iter
+          (fun (p : Classify.provenance) ->
+            match p.Classify.p_evidence with
+            | [] -> Alcotest.fail "exposure rejection with no evidence"
+            | e :: _ ->
+              Alcotest.(check bool)
+                "first edge is a boundary flow" true
+                (e.Depgraph.Graph.e_kind = Depgraph.Graph.Flow
+                && (e.Depgraph.Graph.e_src = Depgraph.Graph.boundary
+                   || e.Depgraph.Graph.e_dst = Depgraph.Graph.boundary));
+              (* the witness is the in-loop end of the boundary edge *)
+              let w =
+                match p.Classify.p_witness with
+                | Some w -> w
+                | None -> Alcotest.fail "exposure rejection without witness"
+              in
+              Alcotest.(check bool)
+                "witness is the edge's loop-side endpoint" true
+                (e.Depgraph.Graph.e_src = w || e.Depgraph.Graph.e_dst = w))
+          exposure_provs);
+    Alcotest.test_case "boundary endpoints render as <outside loop>" `Quick
+      (fun () ->
+        let a = List.hd (analyses_of "h263-encoder") in
+        let g =
+          a.Analyze.classification.Classify.graph
+        in
+        let up =
+          List.find
+            (fun (p : Classify.provenance) ->
+              p.Classify.p_rule = Classify.Rule_upwards_exposed)
+            (provenances "h263-encoder")
+        in
+        let cite =
+          Depgraph.Graph.cite_edge g (List.hd up.Classify.p_evidence)
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "cite %S mentions the boundary" cite)
+          true
+          (let sub = "<outside loop>" in
+           let n = String.length cite and m = String.length sub in
+           let rec has i = i + m <= n && (String.sub cite i m = sub || has (i + 1)) in
+           has 0))
+  ]
+
+(* --- golden table ---------------------------------------------------- *)
+
+let render_explain name =
+  String.concat ""
+    (List.map
+       (fun (a : Analyze.result) ->
+         Report.Tables.explain_table
+           (Classify.explain_rows a.Analyze.classification))
+       (analyses_of name))
+
+let golden_tests =
+  [
+    Alcotest.test_case "golden md5 provenance table" `Quick (fun () ->
+        let text = render_explain "md5" in
+        Alcotest.(check string)
+          (Printf.sprintf "md5 explain table hash (len %d)"
+             (String.length text))
+          "994b67c3000b9622ccfc127601cb6859"
+          (Digest.to_hex (Digest.string text)));
+  ]
+
+let determinism_tests =
+  [
+    Alcotest.test_case "repeated profiling yields identical provenance"
+      `Quick (fun () ->
+        let w = Workloads.Registry.find "md5" in
+        let render () =
+          let prog =
+            Minic.Typecheck.parse_and_check ~file:"md5"
+              w.Workloads.Workload.source
+          in
+          String.concat ""
+            (List.map
+               (fun lid ->
+                 let a = Analyze.analyze prog lid in
+                 Report.Tables.explain_table
+                   (Classify.explain_rows a.Analyze.classification))
+               prog.Minic.Ast.parallel_loops)
+        in
+        Alcotest.(check string) "two runs render identically" (render ())
+          (render ()));
+  ]
+
+let () =
+  Alcotest.run "explain"
+    [
+      ( "evidence-laws",
+        List.map QCheck_alcotest.to_alcotest
+          [ private_evidence_law; shared_evidence_law ] );
+      ("exposure", exposure_tests);
+      ("golden", golden_tests);
+      ("determinism", determinism_tests);
+    ]
