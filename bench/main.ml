@@ -117,7 +117,7 @@ let cycles_of (b : Harness.Bench_run.t) : (string * int) list =
              Harness.Bench_run.loop_cycles_par b ~threads:t );
            (Printf.sprintf "par_total@%d" t, p.Parexec.Sim.pr_total);
          ])
-       [ 2; 4; 8 ]
+       Harness.Bench_run.thread_counts
 
 let bench_name (b : Harness.Bench_run.t) =
   b.Harness.Bench_run.workload.Workloads.Workload.name
@@ -126,8 +126,35 @@ let cycles_json (b : Harness.Bench_run.t) : Telemetry.Json.t =
   Telemetry.Json.Obj
     (List.map (fun (k, v) -> (k, Telemetry.Json.Int v)) (cycles_of b))
 
+(* Wall-clock measurement on real domains: median-of-3 speedups at the
+   gated domain counts, next to the host's core count (the numbers are
+   only comparable between hosts with at least as many cores). *)
+let wall_domains =
+  List.filter (fun d -> d <= 4) Harness.Bench_run.thread_counts
+
+let wall_repeats = 3
+
+let wall_of (b : Harness.Bench_run.t) : (int * Harness.Bench_run.wall_result) list =
+  List.map
+    (fun d -> (d, Harness.Bench_run.wall ~repeats:wall_repeats b ~domains:d))
+    wall_domains
+
+let wall_json (b : Harness.Bench_run.t) : Telemetry.Json.t =
+  let open Telemetry.Json in
+  Obj
+    [
+      ("available", Int (Domexec.Exec.available_domains ()));
+      ("repeats", Int wall_repeats);
+      ( "speedup",
+        Obj
+          (List.map
+             (fun (d, wr) ->
+               (string_of_int d, Float wr.Harness.Bench_run.wr_speedup))
+             (wall_of b)) );
+    ]
+
 (* Machine-readable results for CI trending; the schema is documented
-   in EXPERIMENTS.md ("dsexpand-bench/2"). *)
+   in EXPERIMENTS.md ("dsexpand-bench/3"). *)
 let results_json ~fast ~stages ~artifacts (benches : Harness.Bench_run.t list)
     : Telemetry.Json.t =
   let open Telemetry.Json in
@@ -143,11 +170,12 @@ let results_json ~fast ~stages ~artifacts (benches : Harness.Bench_run.t list)
         ( "loop_speedup",
           at_threads
             (fun ~threads -> Harness.Bench_run.loop_speedup b ~threads)
-            [ 2; 4; 8 ] );
+            Harness.Bench_run.thread_counts );
         ( "total_speedup",
           at_threads
             (fun ~threads -> Harness.Bench_run.total_speedup b ~threads)
-            [ 2; 4; 8 ] );
+            Harness.Bench_run.thread_counts );
+        ("wall", wall_json b);
         ( "memory_multiple",
           at_threads
             (fun ~threads -> Harness.Bench_run.memory_multiple b ~threads)
@@ -156,25 +184,33 @@ let results_json ~fast ~stages ~artifacts (benches : Harness.Bench_run.t list)
   in
   Obj
     [
-      ("schema", Str "dsexpand-bench/2");
+      ("schema", Str "dsexpand-bench/3");
       ("fast", Bool fast);
       ("stages_ns", ns_obj stages);
       ("artifacts_ns", ns_obj artifacts);
       ("workloads", List (List.map workload benches));
     ]
 
-(* The checked-in baseline (bench/BASELINE.json): cycles only, so the
-   file never changes unless simulated behavior does. *)
+(* The checked-in baseline (bench/BASELINE.json): deterministic cycles
+   plus median-of-N wall-clock speedups. Cycles never change unless
+   simulated behavior does; wall entries carry the recording host's
+   core count, and the gate only compares them on hosts with at least
+   as many cores. *)
 let baseline_json (benches : Harness.Bench_run.t list) : Telemetry.Json.t =
   let open Telemetry.Json in
   Obj
     [
-      ("schema", Str "dsexpand-bench/2");
+      ("schema", Str "dsexpand-bench/3");
       ( "workloads",
         List
           (List.map
              (fun b ->
-               Obj [ ("name", Str (bench_name b)); ("cycles", cycles_json b) ])
+               Obj
+                 [
+                   ("name", Str (bench_name b));
+                   ("cycles", cycles_json b);
+                   ("wall", wall_json b);
+                 ])
              benches) );
     ]
 
@@ -191,12 +227,26 @@ let write_json file json =
   output_char oc '\n';
   close_out oc
 
-(* The regression gate: every cycle metric present in both the
-   baseline and this run may grow by at most [tolerance]. Returns the
-   number of regressions. Accepts both BENCH_results.json and the
-   reduced baseline file (each has workloads[].name/.cycles). *)
+let update_hint = "hint: `bench --update-baseline` refreshes bench/BASELINE.json"
+
+(* The regression gate, two halves:
+
+   - cycles: every metric present in both the baseline and this run
+     may grow by at most 15% (deterministic, so this is tight);
+   - wall clock: the median-of-N speedup on real domains may fall by
+     at most 35% (hosts are noisy, so this is loose). Wall entries
+     are only comparable on hosts with at least as many cores as the
+     recording host; on smaller hosts they are skipped with a logged
+     reason.
+
+   Returns the number of regressions. Accepts both BENCH_results.json
+   and the reduced baseline file (each has workloads[].name/.cycles,
+   and workloads[].wall since dsexpand-bench/3). A workload or key
+   missing from the baseline is not a failure: it is reported with a
+   one-line hint to refresh the baseline. *)
 let compare_against ~file (benches : Harness.Bench_run.t list) : int =
   let tolerance = 0.15 in
+  let wall_tolerance = 0.35 in
   let base = Telemetry.Json.of_string_exn (read_file file) in
   let base_workloads =
     match Telemetry.Json.member "workloads" base with
@@ -205,23 +255,28 @@ let compare_against ~file (benches : Harness.Bench_run.t list) : int =
       Printf.eprintf "%s: no \"workloads\" array\n" file;
       exit 2
   in
-  let base_cycles name =
+  let base_entry name field =
     List.find_map
       (fun w ->
         match Telemetry.Json.member "name" w with
         | Some (Telemetry.Json.Str n) when n = name ->
-          Telemetry.Json.member "cycles" w
+          Telemetry.Json.member field w
         | _ -> None)
       base_workloads
   in
   let regressions = ref 0 in
-  Printf.printf "== cycle regression gate vs %s (tolerance %+.0f%%) ==\n" file
-    (tolerance *. 100.);
+  let stale = ref false in
+  Printf.printf
+    "== regression gate vs %s (cycles %+.0f%%, wall %+.0f%%) ==\n" file
+    (tolerance *. 100.)
+    (wall_tolerance *. 100.);
   List.iter
     (fun b ->
       let name = bench_name b in
-      match base_cycles name with
-      | None -> Printf.printf "%-16s not in baseline, skipped\n" name
+      (match base_entry name "cycles" with
+      | None ->
+        stale := true;
+        Printf.printf "%-16s not in baseline, skipped\n" name
       | Some base_obj ->
         List.iter
           (fun (metric, cur) ->
@@ -241,9 +296,53 @@ let compare_against ~file (benches : Harness.Bench_run.t list) : int =
               Printf.printf "%-16s %-12s %12d -> %12d  %+6.1f%%%s\n" name
                 metric bv cur delta
                 (if worse then "  REGRESSION" else "")
-            | _ -> ())
-          (cycles_of b))
+            | _ ->
+              stale := true;
+              Printf.printf "%-16s %-12s not in baseline, skipped\n" name
+                metric)
+          (cycles_of b));
+      match base_entry name "wall" with
+      | None ->
+        stale := true;
+        Printf.printf "%-16s wall         not in baseline, skipped\n" name
+      | Some wall_obj -> (
+        let base_avail =
+          match Telemetry.Json.member "available" wall_obj with
+          | Some (Telemetry.Json.Int a) -> a
+          | _ -> 1
+        in
+        let here = Domexec.Exec.available_domains () in
+        if here < base_avail then
+          Printf.printf
+            "%-16s wall         skipped: host has %d core(s), baseline \
+             recorded on %d\n"
+            name here base_avail
+        else
+          match Telemetry.Json.member "speedup" wall_obj with
+          | Some (Telemetry.Json.Obj kvs) ->
+            List.iter
+              (fun (d, wr) ->
+                let metric = Printf.sprintf "wall@%d" d in
+                match List.assoc_opt (string_of_int d) kvs with
+                | Some (Telemetry.Json.Float bv) ->
+                  let cur = wr.Harness.Bench_run.wr_speedup in
+                  let worse = cur < bv *. (1. -. wall_tolerance) in
+                  if worse then incr regressions;
+                  Printf.printf "%-16s %-12s %11.2fx -> %11.2fx  %+6.1f%%%s\n"
+                    name metric bv cur
+                    ((cur /. bv -. 1.) *. 100.)
+                    (if worse then "  REGRESSION" else "")
+                | _ ->
+                  stale := true;
+                  Printf.printf "%-16s %-12s not in baseline, skipped\n" name
+                    metric)
+              (wall_of b)
+          | _ ->
+            stale := true;
+            Printf.printf "%-16s wall speedups not in baseline, skipped\n"
+              name))
     benches;
+  if !stale then print_endline update_hint;
   !regressions
 
 let () =
@@ -279,6 +378,19 @@ let () =
     Printf.printf "wrote %s\n" file;
     exit 0
   | None -> ());
+  (* --update-baseline: refresh the checked-in baseline in place (the
+     file compare's "not in baseline" hint points at) *)
+  if List.mem "--update-baseline" argv then begin
+    let file =
+      match arg_of "--update-baseline" argv with
+      | Some v when String.length v > 0 && v.[0] <> '-' -> v
+      | _ -> "bench/BASELINE.json"
+    in
+    let benches = List.map Harness.Bench_run.load (workloads_for ()) in
+    write_json file (baseline_json benches);
+    Printf.printf "updated %s\n" file;
+    exit 0
+  end;
   Bechamel_notty.Unit.add Instance.monotonic_clock
     (Measure.unit Instance.monotonic_clock);
   print_endline "== toolchain stage micro-benchmarks (bechamel) ==";

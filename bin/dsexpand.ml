@@ -152,6 +152,37 @@ let explain_format_arg =
     & info [ "explain-format" ] ~docv:"FMT"
         ~doc:"Format of the --explain report: $(b,table) or $(b,json).")
 
+let exec_arg =
+  Arg.(
+    value
+    & opt (enum [ ("sim", `Sim); ("domains", `Domains) ]) `Sim
+    & info [ "exec" ] ~docv:"MODE"
+        ~doc:
+          "Executor for the expanded program: $(b,sim) (the default \
+           cycle-accurate simulator, used by --check --threads) or \
+           $(b,domains) (real parallel execution on OCaml 5 domains with a \
+           work-stealing scheduler; always contract-checked against the \
+           sequential original).")
+
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "With --exec domains: use N domains (default \
+           Domain.recommended_domain_count; an explicit N forces parallel \
+           execution even on a 1-core host).")
+
+let chunk_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "chunk" ] ~docv:"K"
+        ~doc:
+          "With --exec domains: iterations per scheduler chunk (default \
+           trip / (4 * domains)).")
+
 let heatmap_arg =
   Arg.(
     value
@@ -444,9 +475,59 @@ let run_ladder ~threads ~seed prog analyses fault_spec =
     (if ok then "identical" else "DIFFERS");
   if not ok then exit 1
 
+(** Real parallel execution of the expanded program on OCaml domains.
+    Every run is validated: output and exit code against the original,
+    final global state via the privatization contract. *)
+let run_domains ~domains ~chunk ~file prog (res : Expand.Transform.result)
+    (lids : Minic.Ast.lid list) : unit =
+  let plan = res.Expand.Transform.plan in
+  let oracle = Guard.Contract.oracle_of prog [] in
+  let m0 = Interp.Machine.load prog in
+  let t0 = Unix.gettimeofday () in
+  ignore (Interp.Machine.run m0);
+  let seq_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+  (* An explicit --domains N is a request for the parallel scheduler
+     even when the host reports one core. *)
+  let force = domains <> None in
+  let r = Domexec.Exec.run ?domains ?chunk ~force res.Expand.Transform.transformed plan lids in
+  Printf.printf "exec domains: %s, requested %d, used %d%s\n" file
+    r.Domexec.Exec.dx_requested r.Domexec.Exec.dx_domains
+    (match r.Domexec.Exec.dx_fallback with
+    | Some why -> Printf.sprintf " (sequential fallback: %s)" why
+    | None -> "");
+  List.iter
+    (fun (lr : Domexec.Exec.loop_report) ->
+      Printf.printf "  loop %d: %s (%d invocation%s, %d iterations)\n"
+        lr.Domexec.Exec.lr_lid
+        (Domexec.Exec.decision_to_string lr.Domexec.Exec.lr_decision)
+        lr.Domexec.Exec.lr_invocations
+        (if lr.Domexec.Exec.lr_invocations = 1 then "" else "s")
+        lr.Domexec.Exec.lr_iterations)
+    r.Domexec.Exec.dx_loops;
+  Printf.printf "  steals %d, chunks [%s], merges %d\n"
+    r.Domexec.Exec.dx_steals
+    (String.concat " "
+       (Array.to_list (Array.map string_of_int r.Domexec.Exec.dx_chunks_run)))
+    r.Domexec.Exec.dx_merges;
+  Printf.printf
+    "  wall: sequential %.1f ms, domains %.1f ms, speedup %.2fx\n" (seq_ns /. 1e6)
+    (r.Domexec.Exec.dx_wall_ns /. 1e6)
+    (seq_ns /. r.Domexec.Exec.dx_wall_ns);
+  let ok_out = String.equal r.Domexec.Exec.dx_output oracle.Guard.Contract.o_output in
+  let ok_exit = r.Domexec.Exec.dx_exit = oracle.Guard.Contract.o_exit in
+  (match Guard.Contract.check_finals oracle plan r.Domexec.Exec.dx_machine with
+  | () ->
+    Printf.printf "  output %s, exit %s, finals identical\n"
+      (if ok_out then "identical" else "DIFFERS")
+      (if ok_exit then "identical" else "DIFFERS")
+  | exception Guard.Violation.Violation v ->
+    Printf.printf "contract tripped: %s\n" (Guard.Violation.to_string v);
+    exit 1);
+  if not (ok_out && ok_exit) then exit 1
+
 let run input workload dump_deps report check threads no_opt unselective
     guard ladder fault seed campaign trace metrics metrics_format explain
-    explain_format heatmap =
+    explain_format heatmap exec_mode domains chunk =
   setup_telemetry ~trace ~metrics ~metrics_format;
   if campaign then begin
     let entries =
@@ -528,7 +609,8 @@ let run input workload dump_deps report check threads no_opt unselective
     in
     if explain then print_explain ~format:explain_format ~file analyses res;
     Option.iter (write_heatmap ~threads ~file analyses res) heatmap;
-    if check then begin
+    if exec_mode = `Domains then run_domains ~domains ~chunk ~file prog res lids
+    else if check then begin
       let code0, out0 = Interp.Machine.run_program prog in
       let m = Interp.Machine.load res.Expand.Transform.transformed in
       Interp.Machine.set_global_int m.Interp.Machine.st "__nthreads"
@@ -603,6 +685,6 @@ let cmd =
       $ check_arg $ threads_arg $ no_opt_arg $ unselective_arg $ guard_arg
       $ ladder_arg $ fault_arg $ seed_arg $ campaign_arg $ trace_arg
       $ metrics_arg $ metrics_format_arg $ explain_arg $ explain_format_arg
-      $ heatmap_arg)
+      $ heatmap_arg $ exec_arg $ domains_arg $ chunk_arg)
 
 let () = exit (Cmd.eval cmd)

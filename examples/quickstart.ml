@@ -88,4 +88,4 @@ let () =
       Printf.printf "%d thread(s): loop speedup %.2fx\n" threads
         (float_of_int (List.assoc lid seq.Parexec.Sim.sq_loop)
         /. float_of_int (List.assoc lid pr.Parexec.Sim.pr_loop)))
-    [ 1; 2; 4; 8 ]
+    (1 :: Harness.Bench_run.thread_counts)

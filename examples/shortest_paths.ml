@@ -64,7 +64,7 @@ let () =
         (float_of_int seq.Parexec.Sim.sq_total
         /. float_of_int pr.Parexec.Sim.pr_total)
         (Array.fold_left ( + ) 0 pr.Parexec.Sim.pr_sync))
-    [ 1; 2; 4; 8 ];
+    (1 :: Harness.Bench_run.thread_counts);
 
   print_newline ();
   Printf.printf "all %d shortest-path results identical to the sequential run\n"

@@ -1,0 +1,59 @@
+(** A reusable (cyclic) barrier with poisoning.
+
+    Every domain of the executor reaches the merge barrier of every
+    distributed-loop invocation in the same program order, so a plain
+    phase-counting barrier suffices. A domain that fails with an
+    exception poisons the barrier instead of arriving, which releases
+    the waiters with {!Poisoned} rather than deadlocking the run. *)
+
+type t = {
+  m : Mutex.t;
+  cv : Condition.t;
+  parties : int;
+  mutable waiting : int;
+  mutable phase : int;
+  mutable poisoned : exn option;
+}
+
+exception Poisoned of exn
+
+let create parties =
+  {
+    m = Mutex.create ();
+    cv = Condition.create ();
+    parties;
+    waiting = 0;
+    phase = 0;
+    poisoned = None;
+  }
+
+let wait b =
+  Mutex.lock b.m;
+  match b.poisoned with
+  | Some e ->
+    Mutex.unlock b.m;
+    raise (Poisoned e)
+  | None ->
+    let ph = b.phase in
+    b.waiting <- b.waiting + 1;
+    if b.waiting = b.parties then begin
+      b.waiting <- 0;
+      b.phase <- ph + 1;
+      Condition.broadcast b.cv;
+      Mutex.unlock b.m
+    end
+    else begin
+      while b.phase = ph && b.poisoned = None do
+        Condition.wait b.cv b.m
+      done;
+      let p = b.poisoned in
+      Mutex.unlock b.m;
+      match p with Some e -> raise (Poisoned e) | None -> ()
+    end
+
+(** Release all current and future waiters with [Poisoned e]. *)
+let poison b e =
+  Mutex.lock b.m;
+  if b.poisoned = None then b.poisoned <- Some e;
+  Condition.broadcast b.cv;
+  Mutex.unlock b.m

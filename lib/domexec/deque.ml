@@ -1,0 +1,70 @@
+(** Chase–Lev work-stealing deque. See the interface for the protocol
+    summary. [top] and [bottom] are sequentially-consistent atomics
+    (OCaml's only flavour), which subsumes the acquire/release fences
+    of the original algorithm; the element array itself is plain —
+    a slot is written by the owner strictly before the [bottom] store
+    that publishes its index, and [top] never decreases, so no thief
+    reads a slot concurrently with the write that fills it. *)
+
+type 'a t = {
+  buf : 'a option array;
+  mask : int;
+  top : int Atomic.t;  (** next slot to steal *)
+  bottom : int Atomic.t;  (** next slot to push *)
+}
+
+let create ?(capacity = 256) () =
+  let rec pow2 n = if n >= capacity then n else pow2 (2 * n) in
+  let cap = pow2 1 in
+  {
+    buf = Array.make cap None;
+    mask = cap - 1;
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+  }
+
+let size q = max 0 (Atomic.get q.bottom - Atomic.get q.top)
+let is_empty q = size q = 0
+
+let push q x =
+  let b = Atomic.get q.bottom in
+  let t = Atomic.get q.top in
+  if b - t >= Array.length q.buf then invalid_arg "Deque.push: full";
+  q.buf.(b land q.mask) <- Some x;
+  Atomic.set q.bottom (b + 1)
+
+let pop q =
+  let b = Atomic.get q.bottom - 1 in
+  Atomic.set q.bottom b;
+  let t = Atomic.get q.top in
+  if t > b then begin
+    (* already empty: undo the reservation *)
+    Atomic.set q.bottom (b + 1);
+    None
+  end
+  else if t = b then begin
+    (* last element: race the thieves for it *)
+    let won = Atomic.compare_and_set q.top t (t + 1) in
+    Atomic.set q.bottom (b + 1);
+    if won then q.buf.(b land q.mask) else None
+  end
+  else q.buf.(b land q.mask)
+
+let rec steal q =
+  let t = Atomic.get q.top in
+  let b = Atomic.get q.bottom in
+  if t >= b then None
+  else
+    let x = q.buf.(t land q.mask) in
+    if Atomic.compare_and_set q.top t (t + 1) then x else steal q
+
+let rec steal_if pred q =
+  let t = Atomic.get q.top in
+  let b = Atomic.get q.bottom in
+  if t >= b then None
+  else
+    match q.buf.(t land q.mask) with
+    | Some x when pred x ->
+      if Atomic.compare_and_set q.top t (t + 1) then Some x
+      else steal_if pred q
+    | _ -> None

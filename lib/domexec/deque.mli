@@ -1,0 +1,33 @@
+(** Chase–Lev work-stealing deque (SPMC): the owner pushes and pops at
+    the bottom, thieves steal from the top with a CAS on [top].
+
+    The buffer is a fixed-capacity ring. [top] only ever increases, so
+    the CAS has no ABA problem; a slot is reused only after [capacity]
+    further pushes, and the scheduler never holds more than one loop's
+    chunks in flight, so a slot's value is published (by the [bottom]
+    store) strictly before any thief can observe its index. *)
+
+type 'a t
+
+(** [create ~capacity ()] rounds [capacity] up to a power of two. *)
+val create : ?capacity:int -> unit -> 'a t
+
+(** Owner only. @raise Invalid_argument when the deque is full. *)
+val push : 'a t -> 'a -> unit
+
+(** Owner only: take the most recently pushed remaining element. *)
+val pop : 'a t -> 'a option
+
+(** Any domain: take the oldest remaining element. Returns [None] when
+    the deque is empty or the race for the element was lost. *)
+val steal : 'a t -> 'a option
+
+(** [steal_if pred q] steals the top element only when it satisfies
+    [pred]; a failing predicate leaves the deque untouched. Retries
+    internally when another thief wins the CAS first. *)
+val steal_if : ('a -> bool) -> 'a t -> 'a option
+
+(** Snapshot size ([bottom - top]); exact only in quiescence. *)
+val size : 'a t -> int
+
+val is_empty : 'a t -> bool

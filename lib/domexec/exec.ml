@@ -1,0 +1,781 @@
+(** Domain executor. See the interface for the execution model; the
+    comments here cover the scheduling invariants the code relies on.
+
+    Chunks of a distributed loop are homed round-robin (chunk [c]
+    belongs to domain [c mod n]). Each owner pushes its chunks in
+    {e decreasing} index order, so its own pops yield increasing
+    indices while thieves — stealing from the top — always take the
+    owner's {e highest} remaining chunk. Consequently, when an owner
+    reaches the boundary of its next own chunk, the bottom of its
+    deque is either exactly that chunk or the deque is empty (the
+    chunk was stolen). Thieves only steal chunks whose boundary is
+    strictly ahead of their current position ([steal_if]), park them
+    in a pending set, and execute them on arrival; chunks that are
+    never stolen are always popped by their home at its boundary.
+    Every chunk is therefore executed exactly once, by exactly one
+    domain. *)
+
+open Minic
+
+type decision = Distributed | Replicated of string
+
+type loop_report = {
+  lr_lid : Ast.lid;
+  lr_decision : decision;
+  lr_invocations : int;
+  lr_iterations : int;
+}
+
+type result = {
+  dx_exit : int;
+  dx_output : string;
+  dx_requested : int;
+  dx_domains : int;
+  dx_wall_ns : float;
+  dx_steals : int;
+  dx_chunks_run : int array;
+  dx_merges : int;
+  dx_loops : loop_report list;
+  dx_fallback : string option;
+  dx_machine : Interp.Machine.t;
+}
+
+let decision_to_string = function
+  | Distributed -> "distributed"
+  | Replicated why -> "replicated (" ^ why ^ ")"
+
+let available_domains () = Domain.recommended_domain_count ()
+
+(* ------------------------------------------------------------------ *)
+(* Static analysis                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let rec iter_stmts f (s : Ast.stmt) =
+  f s;
+  match s.Ast.skind with
+  | Ast.Sseq l -> List.iter (iter_stmts f) l
+  | Ast.Sif (_, a, b) ->
+    iter_stmts f a;
+    iter_stmts f b
+  | Ast.Swhile (_, _, b) -> iter_stmts f b
+  | Ast.Sfor (_, i, _, st, b) ->
+    iter_stmts f i;
+    iter_stmts f st;
+    iter_stmts f b
+  | _ -> ()
+
+(* Access ids participating in basic induction updates [x = x +/- c],
+   anywhere in the program: the store, and the load of [x] on the
+   right-hand side. Such loads are benign wherever they occur — they
+   read only the value the same update wrote. *)
+let induction_update_aids (prog : Ast.program) =
+  let stores = Hashtbl.create 32 and loads = Hashtbl.create 32 in
+  let scan s =
+    match s.Ast.skind with
+    | Ast.Sassign (aid, Ast.Var x, e) -> (
+      match e with
+      | Ast.Binop
+          ( (Ast.Add | Ast.Sub),
+            Ast.Lval (la, Ast.Var y),
+            Ast.Const (Ast.Cint _) )
+        when String.equal x y ->
+        Hashtbl.replace stores aid ();
+        Hashtbl.replace loads la ()
+      | Ast.Binop
+          (Ast.Add, Ast.Const (Ast.Cint _), Ast.Lval (la, Ast.Var y))
+        when String.equal x y ->
+        Hashtbl.replace stores aid ();
+        Hashtbl.replace loads la ()
+      | _ -> ())
+    | _ -> ()
+  in
+  List.iter
+    (function Ast.Gfun f -> iter_stmts scan f.Ast.fbody | _ -> ())
+    prog.Ast.globals;
+  (stores, loads)
+
+(* Break statements binding to this loop (not to an inner one). *)
+let rec has_toplevel_break (s : Ast.stmt) =
+  match s.Ast.skind with
+  | Ast.Sbreak -> true
+  | Ast.Sseq l -> List.exists has_toplevel_break l
+  | Ast.Sif (_, a, b) -> has_toplevel_break a || has_toplevel_break b
+  | Ast.Swhile _ | Ast.Sfor _ -> false
+  | _ -> false
+
+let has_return (s : Ast.stmt) =
+  let found = ref false in
+  iter_stmts
+    (fun s -> match s.Ast.skind with Ast.Sreturn _ -> found := true | _ -> ())
+    s;
+  !found
+
+type loop_static = {
+  ls_step_aids : (Ast.aid, unit) Hashtbl.t;
+  ls_early_exit : string option;  (** why the loop may exit early *)
+}
+
+let loop_static_of prog lid : loop_static =
+  let step_aids = Hashtbl.create 8 in
+  let early = ref None in
+  (match Visit.find_loop_fun prog lid with
+  | None -> ()
+  | Some (_, loop) ->
+    let step, body =
+      match loop.Ast.skind with
+      | Ast.Sfor (_, _, _, step, body) -> (step, body)
+      | Ast.Swhile (_, _, body) -> (Ast.skip, body)
+      | _ -> (Ast.skip, Ast.skip)
+    in
+    List.iter
+      (fun a -> Hashtbl.replace step_aids a.Visit.acc_aid ())
+      (Visit.accesses_of_stmt step);
+    if has_toplevel_break body then early := Some "the loop body may break";
+    if has_return body then
+      early := Some "the loop body may return from the function");
+  { ls_step_aids = step_aids; ls_early_exit = !early }
+
+(* ------------------------------------------------------------------ *)
+(* Distribution-safety pre-pass                                        *)
+(* ------------------------------------------------------------------ *)
+
+type inv_plan = {
+  ip_trip : int;
+  ip_deltas : (int * int) array;
+      (** (addr, size) of body-updated basic induction variables,
+          merged at loop exit as pre + sum of per-domain deltas *)
+}
+
+type prepass = {
+  pp_decisions : (Ast.lid, decision) Hashtbl.t;
+  pp_invs : (Ast.lid * int, inv_plan) Hashtbl.t;
+  pp_inv_count : (Ast.lid, int) Hashtbl.t;
+  pp_iters : (Ast.lid, int) Hashtbl.t;
+}
+
+type pre_active = {
+  pa_lid : Ast.lid;
+  pa_inv : int;
+  mutable pa_iter : int;
+  pa_shadow : (int, int) Hashtbl.t;  (** 8-byte granule -> last writer *)
+  pa_body_written : (int, unit) Hashtbl.t;  (** granules stored by the body *)
+  pa_stepv : (int, unit) Hashtbl.t;  (** induction vars advanced in the step *)
+  pa_bodyv : (int, int) Hashtbl.t;  (** induction vars advanced in the body *)
+  pa_otherload : (int, unit) Hashtbl.t;
+      (** induction-verdict loads outside their own update *)
+  pa_rand0 : int64;
+}
+
+let prepass ~(prog : Ast.program) ~(plan : Expand.Plan.t)
+    ~(lids : Ast.lid list) ~(domains : int) : prepass =
+  let decisions = Hashtbl.create 8 in
+  let invs = Hashtbl.create 16 in
+  let inv_count = Hashtbl.create 8 in
+  let iters = Hashtbl.create 8 in
+  let statics = Hashtbl.create 8 in
+  let upd_stores, upd_loads = induction_update_aids prog in
+  let demote lid why =
+    match Hashtbl.find_opt decisions lid with
+    | Some Distributed -> Hashtbl.replace decisions lid (Replicated why)
+    | _ -> ()
+  in
+  List.iter
+    (fun lid ->
+      Hashtbl.replace decisions lid Distributed;
+      Hashtbl.replace inv_count lid 0;
+      Hashtbl.replace iters lid 0;
+      let ls = loop_static_of prog lid in
+      Hashtbl.replace statics lid ls;
+      match ls.ls_early_exit with
+      | Some why -> demote lid why
+      | None -> ())
+    lids;
+  let m = Interp.Machine.load prog in
+  let st = m.Interp.Machine.st in
+  Interp.Machine.set_global_int st Expand.Names.nthreads domains;
+  let active : pre_active option ref = ref None in
+  let live pa =
+    match Hashtbl.find_opt decisions pa.pa_lid with
+    | Some Distributed -> true
+    | _ -> false
+  in
+  let on_store pa ~is_step addr size =
+    let g0 = addr lsr 3 and g1 = (addr + size - 1) lsr 3 in
+    for g = g0 to g1 do
+      Hashtbl.replace pa.pa_shadow g pa.pa_iter;
+      if not is_step then Hashtbl.replace pa.pa_body_written g ()
+    done
+  in
+  let on_load pa ~is_step addr size =
+    let g0 = addr lsr 3 and g1 = (addr + size - 1) lsr 3 in
+    for g = g0 to g1 do
+      (match Hashtbl.find_opt pa.pa_shadow g with
+      | Some j when j <> pa.pa_iter ->
+        demote pa.pa_lid "loop-carried flow dependence"
+      | _ -> ());
+      (* the step runs on every machine, so it must not read values
+         produced by bodies that machine did not execute *)
+      if is_step && Hashtbl.mem pa.pa_body_written g then
+        demote pa.pa_lid "the step reads data written by the loop body"
+    done
+  in
+  st.Interp.Machine.observer <-
+    Some
+      (fun aid kind addr size ->
+        match !active with
+        | Some pa when live pa ->
+          if
+            addr >= st.Interp.Machine.stack_base
+            && addr < st.Interp.Machine.stack_limit
+          then ()
+          else begin
+            let ls = Hashtbl.find statics pa.pa_lid in
+            let is_step = Hashtbl.mem ls.ls_step_aids aid in
+            match Expand.Plan.verdict plan aid with
+            | Privatize.Classify.Induction -> (
+              match kind with
+              | Visit.Store ->
+                if is_step then Hashtbl.replace pa.pa_stepv addr ()
+                else if Hashtbl.mem upd_stores aid then
+                  Hashtbl.replace pa.pa_bodyv addr size
+                else
+                  demote pa.pa_lid
+                    "induction store outside the x = x +/- c shape"
+              | Visit.Load ->
+                if Hashtbl.mem upd_loads aid then ()
+                else Hashtbl.replace pa.pa_otherload addr ())
+            | _ -> (
+              match kind with
+              | Visit.Store -> on_store pa ~is_step addr size
+              | Visit.Load -> on_load pa ~is_step addr size)
+          end
+        | _ -> ());
+  st.Interp.Machine.bulk_hook <-
+    Some
+      (fun dst src len ->
+        match !active with
+        | Some pa when live pa && len > 0 ->
+          let stacky a =
+            a >= st.Interp.Machine.stack_base
+            && a < st.Interp.Machine.stack_limit
+          in
+          (match src with
+          | Some s when not (stacky s) -> on_load pa ~is_step:false s len
+          | _ -> ());
+          if not (stacky dst) then on_store pa ~is_step:false dst len
+        | _ -> ());
+  st.Interp.Machine.alloc_hook <-
+    Some
+      (fun _ _ _ ->
+        match !active with
+        | Some pa -> demote pa.pa_lid "allocates inside the loop body"
+        | None -> ());
+  st.Interp.Machine.free_hook <-
+    Some
+      (fun _ _ ->
+        match !active with
+        | Some pa -> demote pa.pa_lid "frees inside the loop body"
+        | None -> ());
+  st.Interp.Machine.loop_hook <-
+    Some
+      (fun lid ev ->
+        if Hashtbl.mem decisions lid then
+          match ev with
+          | Interp.Machine.Enter -> (
+            match !active with
+            | Some _ -> demote lid "nested inside another parallelized loop"
+            | None ->
+              let inv = Hashtbl.find inv_count lid in
+              active :=
+                Some
+                  {
+                    pa_lid = lid;
+                    pa_inv = inv;
+                    pa_iter = 0;
+                    pa_shadow = Hashtbl.create 256;
+                    pa_body_written = Hashtbl.create 256;
+                    pa_stepv = Hashtbl.create 4;
+                    pa_bodyv = Hashtbl.create 4;
+                    pa_otherload = Hashtbl.create 4;
+                    pa_rand0 = st.Interp.Machine.rand_state;
+                  })
+          | Interp.Machine.Iter i -> (
+            match !active with
+            | Some pa when pa.pa_lid = lid -> pa.pa_iter <- i
+            | _ -> ())
+          | Interp.Machine.Exit -> (
+            match !active with
+            | Some pa when pa.pa_lid = lid ->
+              if live pa then begin
+                if st.Interp.Machine.rand_state <> pa.pa_rand0 then
+                  demote lid "rand() advances inside the loop";
+                Hashtbl.iter
+                  (fun addr _ ->
+                    if Hashtbl.mem pa.pa_bodyv addr then
+                      demote lid
+                        "induction variable updated in both body and step")
+                  pa.pa_stepv;
+                Hashtbl.iter
+                  (fun addr _ ->
+                    if Hashtbl.mem pa.pa_bodyv addr then
+                      demote lid "induction value read outside its own update")
+                  pa.pa_otherload
+              end;
+              if live pa then begin
+                let deltas =
+                  Hashtbl.fold (fun a s acc -> (a, s) :: acc) pa.pa_bodyv []
+                  |> List.sort compare |> Array.of_list
+                in
+                Hashtbl.replace invs (lid, pa.pa_inv)
+                  { ip_trip = pa.pa_iter; ip_deltas = deltas }
+              end;
+              Hashtbl.replace inv_count lid (pa.pa_inv + 1);
+              Hashtbl.replace iters lid
+                (Hashtbl.find iters lid + pa.pa_iter);
+              active := None
+            | _ -> ()))
+      ;
+  (try ignore (Interp.Machine.run m)
+   with Interp.Machine.Exit_program _ -> ());
+  (match !active with
+  | Some pa -> demote pa.pa_lid "the program exits inside the loop"
+  | None -> ());
+  {
+    pp_decisions = decisions;
+    pp_invs = invs;
+    pp_inv_count = inv_count;
+    pp_iters = iters;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Write logs                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let log_store buf mem addr size =
+  Buffer.add_int32_le buf (Int32.of_int addr);
+  Buffer.add_int32_le buf (Int32.of_int size);
+  Buffer.add_string buf (Interp.Memory.read_raw mem addr size)
+
+let apply_log mem (s : string) =
+  let n = String.length s in
+  let pos = ref 0 in
+  while !pos < n do
+    let addr = Int32.to_int (String.get_int32_le s !pos) in
+    let len = Int32.to_int (String.get_int32_le s (!pos + 4)) in
+    Interp.Memory.write_raw mem addr (String.sub s (!pos + 8) len);
+    pos := !pos + 8 + len
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Parallel run                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Shared per-invocation state, preallocated before the domains spawn
+   so the workers never allocate shared structures concurrently.
+   Distinct array slots are written by distinct domains; the merge
+   barrier publishes them. *)
+type slot = {
+  sl_trip : int;
+  sl_chunk : int;
+  sl_nchunks : int;
+  sl_logs : string option array;  (** per-iteration write log *)
+  sl_outs : string option array;  (** per-iteration output fragment *)
+  sl_deltas : int64 array array;  (** per domain, per induction var *)
+  sl_delta_addrs : (int * int) array;
+}
+
+type dom_active = {
+  da_slot : slot;
+  mutable da_cur_hi : int;  (** exclusive end of executing chunk; -1 = none *)
+  da_pending : (int, unit) Hashtbl.t;  (** stolen chunks awaiting arrival *)
+  mutable da_iter : int;
+  mutable da_logging : bool;
+  da_log : Buffer.t;
+  mutable da_out_start : int;
+  da_enter_out : int;
+  da_pre : int64 array;  (** induction pre-values at loop entry *)
+  mutable da_chunk_t0 : int;  (** ns at chunk acquisition; -1 = none *)
+}
+
+(* Per-domain telemetry, buffered locally (the sink is a plain global
+   and not domain-safe) and emitted by the main domain after join. *)
+type dom_tel = {
+  mutable spans : (string * string * int * int) list;  (** name/cat/t0/t1 ns *)
+  mutable instants : (string * int) list;
+}
+
+let ceil_div a b = (a + b - 1) / b
+
+let chunk_size ~override ~trip ~domains =
+  match override with
+  | Some k -> max 1 k
+  | None -> max 1 (ceil_div trip (4 * domains))
+
+let run ?domains ?chunk ?(force = false) (prog : Ast.program)
+    (plan : Expand.Plan.t) (lids : Ast.lid list) : result =
+  let requested =
+    match domains with Some n -> max 1 n | None -> available_domains ()
+  in
+  let fallback =
+    if requested = 1 then Some "one domain requested"
+    else if available_domains () = 1 && not force then
+      Some "only one core available (Domain.recommended_domain_count = 1)"
+    else None
+  in
+  match fallback with
+  | Some why ->
+    (* Sequential fallback: one machine, one copy, no scheduler. *)
+    let m = Interp.Machine.load prog in
+    Interp.Machine.set_global_int m.Interp.Machine.st Expand.Names.nthreads 1;
+    let t0 = Unix.gettimeofday () in
+    let code = Interp.Machine.run m in
+    let wall = (Unix.gettimeofday () -. t0) *. 1e9 in
+    {
+      dx_exit = code;
+      dx_output = Interp.Machine.output m.Interp.Machine.st;
+      dx_requested = requested;
+      dx_domains = 1;
+      dx_wall_ns = wall;
+      dx_steals = 0;
+      dx_chunks_run = [| 0 |];
+      dx_merges = 0;
+      dx_loops = [];
+      dx_fallback = Some why;
+      dx_machine = m;
+    }
+  | None ->
+    let n = requested in
+    let pp = prepass ~prog ~plan ~lids ~domains:n in
+    (* Shared slots for every distributed invocation. *)
+    let slots : (Ast.lid * int, slot) Hashtbl.t = Hashtbl.create 16 in
+    let max_own = ref 1 in
+    Hashtbl.iter
+      (fun key ip ->
+        let lid = fst key in
+        match Hashtbl.find_opt pp.pp_decisions lid with
+        | Some Distributed when ip.ip_trip > 0 ->
+          let k = chunk_size ~override:chunk ~trip:ip.ip_trip ~domains:n in
+          let nchunks = ceil_div ip.ip_trip k in
+          max_own := max !max_own (ceil_div nchunks n);
+          Hashtbl.replace slots key
+            {
+              sl_trip = ip.ip_trip;
+              sl_chunk = k;
+              sl_nchunks = nchunks;
+              sl_logs = Array.make ip.ip_trip None;
+              sl_outs = Array.make ip.ip_trip None;
+              sl_deltas =
+                Array.init n (fun _ ->
+                    Array.make (Array.length ip.ip_deltas) 0L);
+              sl_delta_addrs = ip.ip_deltas;
+            }
+        | _ -> ())
+      pp.pp_invs;
+    let deques =
+      Array.init n (fun _ -> Deque.create ~capacity:(2 * !max_own) ())
+    in
+    let barrier = Barrier.create n in
+    let steals = Array.make n 0 in
+    let chunks_run = Array.make n 0 in
+    let merges = Array.make n 0 in
+    let tels = Array.init n (fun _ -> { spans = []; instants = [] }) in
+    (* Machines must be loaded sequentially: [load] stamps fresh access
+       ids into the (shared) program. *)
+    let machines = Array.init n (fun _ -> Interp.Machine.load prog) in
+    Array.iter
+      (fun m ->
+        Interp.Machine.set_global_int m.Interp.Machine.st
+          Expand.Names.nthreads n)
+      machines;
+    let t0 = Unix.gettimeofday () in
+    let now_ns () = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
+    let body d =
+      let m = machines.(d) in
+      let st = m.Interp.Machine.st in
+      let tel = tels.(d) in
+      let inv_count : (Ast.lid, int) Hashtbl.t = Hashtbl.create 8 in
+      let active : dom_active option ref = ref None in
+      let finalize_iter da =
+        da.da_logging <- false;
+        if Buffer.length da.da_log > 0 then begin
+          da.da_slot.sl_logs.(da.da_iter) <- Some (Buffer.contents da.da_log);
+          Buffer.clear da.da_log
+        end;
+        let olen = Buffer.length st.Interp.Machine.out - da.da_out_start in
+        if olen > 0 then
+          da.da_slot.sl_outs.(da.da_iter) <-
+            Some (Buffer.sub st.Interp.Machine.out da.da_out_start olen)
+      in
+      let try_steal da i =
+        let k = da.da_slot.sl_chunk in
+        let rec go v =
+          if v >= n then ()
+          else
+            let victim = (d + v) mod n in
+            match Deque.steal_if (fun c -> c * k > i) deques.(victim) with
+            | Some c ->
+              Hashtbl.replace da.da_pending c ();
+              steals.(d) <- steals.(d) + 1;
+              tel.instants <- ("steal", now_ns ()) :: tel.instants
+            | None -> go (v + 1)
+        in
+        go 1
+      in
+      st.Interp.Machine.observer <-
+        Some
+          (fun aid kind addr size ->
+            match !active with
+            | Some da when da.da_logging -> (
+              match kind with
+              | Visit.Store ->
+                if
+                  addr >= st.Interp.Machine.stack_base
+                  && addr < st.Interp.Machine.stack_limit
+                then ()
+                else if
+                  match Expand.Plan.verdict plan aid with
+                  | Privatize.Classify.Induction -> true
+                  | _ -> false
+                then () (* delta-merged (body) or replicated (step) *)
+                else log_store da.da_log st.Interp.Machine.mem addr size
+              | Visit.Load -> ())
+            | _ -> ());
+      st.Interp.Machine.bulk_hook <-
+        Some
+          (fun dst _src len ->
+            match !active with
+            | Some da
+              when da.da_logging && len > 0
+                   && not
+                        (dst >= st.Interp.Machine.stack_base
+                        && dst < st.Interp.Machine.stack_limit) ->
+              log_store da.da_log st.Interp.Machine.mem dst len
+            | _ -> ());
+      st.Interp.Machine.loop_hook <-
+        Some
+          (fun lid ev ->
+            if Hashtbl.mem pp.pp_decisions lid then
+              match ev with
+              | Interp.Machine.Enter -> (
+                match !active with
+                | Some _ -> () (* nested: already demoted by the pre-pass *)
+                | None -> (
+                  let inv =
+                    Option.value ~default:0 (Hashtbl.find_opt inv_count lid)
+                  in
+                  Hashtbl.replace inv_count lid (inv + 1);
+                  match Hashtbl.find_opt slots (lid, inv) with
+                  | None -> () (* replicated or zero-trip *)
+                  | Some slot ->
+                    Interp.Machine.set_global_int st Expand.Names.tid d;
+                    (* decreasing push order: see the header comment *)
+                    let c = ref (slot.sl_nchunks - 1) in
+                    while !c >= 0 do
+                      if !c mod n = d then Deque.push deques.(d) !c;
+                      decr c
+                    done;
+                    let pre =
+                      Array.map
+                        (fun (addr, size) ->
+                          Interp.Memory.load st.Interp.Machine.mem addr size)
+                        slot.sl_delta_addrs
+                    in
+                    active :=
+                      Some
+                        {
+                          da_slot = slot;
+                          da_cur_hi = -1;
+                          da_pending = Hashtbl.create 8;
+                          da_iter = 0;
+                          da_logging = false;
+                          da_log = Buffer.create 4096;
+                          da_out_start = 0;
+                          da_enter_out =
+                            Buffer.length st.Interp.Machine.out;
+                          da_pre = pre;
+                          da_chunk_t0 = -1;
+                        }))
+              | Interp.Machine.Iter i -> (
+                match !active with
+                | None -> ()
+                | Some da ->
+                  if da.da_logging then finalize_iter da;
+                  let slot = da.da_slot in
+                  let k = slot.sl_chunk in
+                  if da.da_cur_hi >= 0 && i >= da.da_cur_hi then begin
+                    if da.da_chunk_t0 >= 0 then
+                      tel.spans <-
+                        ("chunk", "chunk", da.da_chunk_t0, now_ns ())
+                        :: tel.spans;
+                    da.da_chunk_t0 <- -1;
+                    da.da_cur_hi <- -1
+                  end;
+                  if i < slot.sl_trip then begin
+                    if da.da_cur_hi < 0 && i mod k = 0 then begin
+                      let c = i / k in
+                      let acquire () =
+                        da.da_cur_hi <- min slot.sl_trip ((c + 1) * k);
+                        da.da_chunk_t0 <- now_ns ();
+                        chunks_run.(d) <- chunks_run.(d) + 1
+                      in
+                      if Hashtbl.mem da.da_pending c then begin
+                        Hashtbl.remove da.da_pending c;
+                        acquire ()
+                      end
+                      else if c mod n = d then begin
+                        match Deque.pop deques.(d) with
+                        | Some c' when c' = c -> acquire ()
+                        | Some _ ->
+                          raise
+                            (Interp.Machine.Runtime_error
+                               "domexec: deque order invariant violated")
+                        | None -> () (* stolen from us *)
+                      end
+                      else if
+                        Deque.is_empty deques.(d)
+                        && Hashtbl.length da.da_pending = 0
+                      then try_steal da i
+                    end;
+                    if da.da_cur_hi >= 0 then begin
+                      da.da_iter <- i;
+                      Buffer.clear da.da_log;
+                      da.da_out_start <- Buffer.length st.Interp.Machine.out;
+                      da.da_logging <- true
+                    end
+                    else st.Interp.Machine.iter_skip <- true
+                  end)
+              | Interp.Machine.Exit -> (
+                match !active with
+                | None -> ()
+                | Some da ->
+                  if da.da_logging then finalize_iter da;
+                  let slot = da.da_slot in
+                  (* publish induction deltas, then synchronize *)
+                  Array.iteri
+                    (fun j (addr, size) ->
+                      let cur =
+                        Interp.Memory.load st.Interp.Machine.mem addr size
+                      in
+                      slot.sl_deltas.(d).(j) <- Int64.sub cur da.da_pre.(j))
+                    slot.sl_delta_addrs;
+                  Barrier.wait barrier;
+                  (* merge: replay all write logs in iteration order,
+                     fold induction deltas, splice output fragments *)
+                  let tm0 = now_ns () in
+                  for i = 0 to slot.sl_trip - 1 do
+                    match slot.sl_logs.(i) with
+                    | Some log -> apply_log st.Interp.Machine.mem log
+                    | None -> ()
+                  done;
+                  Array.iteri
+                    (fun j (addr, size) ->
+                      let sum = ref da.da_pre.(j) in
+                      for t = 0 to n - 1 do
+                        sum := Int64.add !sum slot.sl_deltas.(t).(j)
+                      done;
+                      Interp.Memory.store st.Interp.Machine.mem addr size !sum)
+                    slot.sl_delta_addrs;
+                  Buffer.truncate st.Interp.Machine.out da.da_enter_out;
+                  Array.iter
+                    (function
+                      | Some frag ->
+                        Buffer.add_string st.Interp.Machine.out frag
+                      | None -> ())
+                    slot.sl_outs;
+                  merges.(d) <- merges.(d) + 1;
+                  tel.spans <- ("merge", "merge", tm0, now_ns ()) :: tel.spans;
+                  Interp.Machine.set_global_int st Expand.Names.tid 0;
+                  active := None));
+      let tr0 = now_ns () in
+      tel.instants <- ("spawn", tr0) :: tel.instants;
+      let code = Interp.Machine.run m in
+      tel.spans <- ("run", "domain", tr0, now_ns ()) :: tel.spans;
+      code
+    in
+    let guarded d () =
+      try Ok (body d)
+      with e ->
+        Barrier.poison barrier e;
+        Error e
+    in
+    let workers =
+      Array.init (n - 1) (fun k -> Domain.spawn (guarded (k + 1)))
+    in
+    let r0 = guarded 0 () in
+    let results =
+      Array.append [| r0 |] (Array.map Domain.join workers)
+    in
+    let wall = (Unix.gettimeofday () -. t0) *. 1e9 in
+    (* Re-raise the first real failure (not barrier poisoning fallout). *)
+    Array.iter
+      (function
+        | Error (Barrier.Poisoned _) -> () | Error e -> raise e | Ok _ -> ())
+      results;
+    Array.iter
+      (function Error e -> raise e | Ok _ -> ())
+      results;
+    let codes =
+      Array.map (function Ok c -> c | Error _ -> assert false) results
+    in
+    let outs =
+      Array.map
+        (fun m -> Interp.Machine.output m.Interp.Machine.st)
+        machines
+    in
+    Array.iteri
+      (fun d c ->
+        if c <> codes.(0) || not (String.equal outs.(d) outs.(0)) then
+          raise
+            (Interp.Machine.Runtime_error
+               (Printf.sprintf
+                  "domexec: domain %d diverged from domain 0 (merge bug)" d)))
+      codes;
+    (* Emit buffered scheduler telemetry: one pseudo-process per domain. *)
+    if Telemetry.Sink.enabled () then begin
+      Array.iteri
+        (fun d tel ->
+          let tid = Telemetry.Chrome_trace.domain_tid_base + d in
+          List.iter
+            (fun (name, cat, a, b) ->
+              Telemetry.Span.sim_begin ~cat ~tid ~ts:a name;
+              Telemetry.Span.sim_end ~tid ~ts:b name)
+            (List.rev tel.spans);
+          List.iter
+            (fun (name, ts) ->
+              Telemetry.Span.sim_instant ~cat:"steal" ~tid ~ts name)
+            (List.rev tel.instants))
+        tels;
+      Telemetry.Span.count "domexec.domains" n;
+      Telemetry.Span.count "domexec.steals" (Array.fold_left ( + ) 0 steals);
+      Telemetry.Span.count "domexec.chunks"
+        (Array.fold_left ( + ) 0 chunks_run);
+      Telemetry.Span.count "domexec.merges" merges.(0)
+    end;
+    let loops =
+      List.map
+        (fun lid ->
+          {
+            lr_lid = lid;
+            lr_decision =
+              Option.value ~default:Distributed
+                (Hashtbl.find_opt pp.pp_decisions lid);
+            lr_invocations =
+              Option.value ~default:0 (Hashtbl.find_opt pp.pp_inv_count lid);
+            lr_iterations =
+              Option.value ~default:0 (Hashtbl.find_opt pp.pp_iters lid);
+          })
+        lids
+    in
+    {
+      dx_exit = codes.(0);
+      dx_output = outs.(0);
+      dx_requested = requested;
+      dx_domains = n;
+      dx_wall_ns = wall;
+      dx_steals = Array.fold_left ( + ) 0 steals;
+      dx_chunks_run = chunks_run;
+      dx_merges = merges.(0);
+      dx_loops = loops;
+      dx_fallback = None;
+      dx_machine = machines.(0);
+    }

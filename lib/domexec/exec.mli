@@ -1,0 +1,82 @@
+(** Real parallel execution of expanded programs on OCaml 5 domains.
+
+    The executor pins one interpreter instance per domain. Every
+    machine runs the whole expanded program; for each {e distributed}
+    parallel loop the iteration space is split into chunks, chunks are
+    homed round-robin onto per-domain work-stealing deques, and each
+    machine walks the loop's traversal (condition and step on every
+    iteration) while executing bodies only for the chunks it acquired
+    — its own, popped at their boundary, or chunks stolen from busier
+    domains. Executed iterations record every non-stack store into a
+    write log and their printed bytes into an output fragment; at loop
+    exit a barrier is taken and every machine replays all logs in
+    iteration order (last-writer-wins reproduces the sequential memory
+    state byte for byte), merges basic induction variables by summing
+    per-domain deltas, and splices the output fragments in iteration
+    order. Machines therefore leave every loop in identical states,
+    and the run's final output/memory is byte-identical to the
+    sequential oracle.
+
+    A distribution-safety pre-pass (one instrumented sequential run of
+    the expanded program) demotes to {e replicated} — executed in full
+    by every machine, which is trivially consistent — any loop with a
+    loop-carried flow dependence, allocation, [rand] advancement,
+    early exit, or an induction variable used outside its own update.
+    Known blind spot: string reads by [strlen]/[puts]/[printf %s]
+    bypass the access observer, so a distributed body that reads a
+    string written by another iteration would not be demoted (no
+    workload does this); the per-run contract check still fails loudly
+    if it ever happens. *)
+
+open Minic
+
+type decision =
+  | Distributed
+  | Replicated of string  (** reason the loop runs on every machine *)
+
+type loop_report = {
+  lr_lid : Ast.lid;
+  lr_decision : decision;
+  lr_invocations : int;
+  lr_iterations : int;  (** total iterations across invocations *)
+}
+
+type result = {
+  dx_exit : int;
+  dx_output : string;
+  dx_requested : int;  (** domains asked for *)
+  dx_domains : int;  (** domains actually used *)
+  dx_wall_ns : float;  (** spawn-to-join (run only; loading excluded) *)
+  dx_steals : int;
+  dx_chunks_run : int array;  (** chunks executed, per domain *)
+  dx_merges : int;  (** distributed invocations merged *)
+  dx_loops : loop_report list;
+  dx_fallback : string option;  (** reason when the run was sequential *)
+  dx_machine : Interp.Machine.t;
+      (** domain 0's machine after the run, for contract checking *)
+}
+
+val decision_to_string : decision -> string
+
+(** [Domain.recommended_domain_count ()]. *)
+val available_domains : unit -> int
+
+(** Run an expanded program on real domains. [domains] defaults to
+    {!available_domains}; when only one core is available the run
+    falls back to sequential execution unless [force] is set (domains
+    are correct on any core count — [force] is how tests exercise the
+    parallel path on small machines). [chunk] overrides the default
+    chunk size (trip count / (4 × domains)). [lids] are the analyzed
+    parallel-loop candidates; [plan] supplies access verdicts.
+
+    The caller is expected to validate [dx_output]/[dx_exit] and
+    [dx_machine]'s final globals against a sequential oracle
+    (e.g. {!Guard.Contract}). *)
+val run :
+  ?domains:int ->
+  ?chunk:int ->
+  ?force:bool ->
+  Ast.program ->
+  Expand.Plan.t ->
+  Ast.lid list ->
+  result

@@ -210,6 +210,34 @@ let attach (oracle : oracle) (plan : Expand.Plan.t) (m : Interp.Machine.t) :
     c_machine = m;
   }
 
+(** Final-state comparison alone: every eligible (non-expanded,
+    pointer-free) global must be byte-identical to the oracle. Also
+    used standalone by the domain executor, whose runs have no
+    per-access streams to consume.
+    @raise Violation.Violation on the first divergence. *)
+let check_finals (oracle : oracle) (plan : Expand.Plan.t)
+    (m : Interp.Machine.t) : unit =
+  let st = m.Interp.Machine.st in
+  Hashtbl.iter
+    (fun x want ->
+      if not (Expand.Plan.expanded_var plan x) then
+        match Hashtbl.find_opt st.Interp.Machine.global_addrs x with
+        | Some addr ->
+          let got = read_bytes st.Interp.Machine.mem addr (String.length want) in
+          if got <> want then begin
+            let diff = ref 0 in
+            while String.get got !diff = String.get want !diff do incr diff done;
+            Violation.fire Violation.Contract_final
+              "final state of global '%s' diverges from the sequential \
+               oracle at byte %d (oracle 0x%02x, expanded 0x%02x)"
+              x !diff
+              (Char.code want.[!diff])
+              (Char.code got.[!diff])
+          end
+          else Telemetry.Span.count "contract.globals_matched" 1
+        | None -> ())
+    oracle.o_finals
+
 (** Post-run checks: every oracle stream fully consumed, and every
     eligible (non-expanded, pointer-free) global byte-identical to the
     oracle's final state.
@@ -227,24 +255,5 @@ let finalize (c : checker) : unit =
           ((Bytes.length stream - !cur) / 9)
       | _ -> ())
     c.c_cursors;
-  let st = c.c_machine.Interp.Machine.st in
-  Hashtbl.iter
-    (fun x want ->
-      if not (Expand.Plan.expanded_var c.c_plan x) then
-        match Hashtbl.find_opt st.Interp.Machine.global_addrs x with
-        | Some addr ->
-          let got = read_bytes st.Interp.Machine.mem addr (String.length want) in
-          if got <> want then begin
-            let diff = ref 0 in
-            while String.get got !diff = String.get want !diff do incr diff done;
-            Violation.fire Violation.Contract_final
-              "final state of global '%s' diverges from the sequential \
-               oracle at byte %d (oracle 0x%02x, expanded 0x%02x)"
-              x !diff
-              (Char.code want.[!diff])
-              (Char.code got.[!diff])
-          end
-          else Telemetry.Span.count "contract.globals_matched" 1
-        | None -> ())
-    c.c_oracle.o_finals;
+  check_finals c.c_oracle c.c_plan c.c_machine;
   Telemetry.Span.count "contract.finalized" 1

@@ -38,3 +38,9 @@ val attach : oracle -> Expand.Plan.t -> Interp.Machine.t -> checker
     oracle's final state.
     @raise Violation.Violation on the first divergence. *)
 val finalize : checker -> unit
+
+(** The final-state comparison alone, against any post-run machine of
+    the expanded program. The domain executor validates every run with
+    this (its runs have no per-access streams).
+    @raise Violation.Violation with [Contract_final] on divergence. *)
+val check_finals : oracle -> Expand.Plan.t -> Interp.Machine.t -> unit

@@ -5,6 +5,14 @@
 
 open Minic
 
+(** Single source of truth for how wide the evaluation fans out: the
+    simulated executor and the real domain executor measure the same
+    counts (bench tables, figures and CI gates all draw from here). *)
+let thread_counts = [ 2; 4; 8 ]
+
+(** Domain counts for the simulated-vs-real scaling comparison. *)
+let domain_counts = [ 1; 2; 4; 8 ]
+
 type t = {
   workload : Workloads.Workload.t;
   prog : Ast.program;
@@ -22,6 +30,24 @@ type t = {
   mutable seq_cycles_cache : (string, int * int) Hashtbl.t;
       (** tagged sequential runs of transformed programs:
           (cycles, peak bytes) *)
+  contract_oracle : Guard.Contract.oracle Lazy.t;
+      (** finals/output/exit oracle of the original program (no access
+          streams), validating every domain-executor run *)
+  mutable wall_seq_cache : (int, float) Hashtbl.t;
+      (** repeats -> median wall ns of the original program *)
+  mutable wall_cache : (int * int, wall_result) Hashtbl.t;
+      (** (domains, repeats) -> wall-clock measurement *)
+}
+
+and wall_result = {
+  wr_domains : int;  (** domains requested *)
+  wr_used : int;  (** domains actually used (1 = sequential fallback) *)
+  wr_seq_ns : float;  (** median wall time of the sequential original *)
+  wr_par_ns : float;  (** median wall time on domains *)
+  wr_speedup : float;
+  wr_steals : int;
+  wr_distributed : int;  (** parallel loops the executor distributed *)
+  wr_fallback : string option;
 }
 
 let load (w : Workloads.Workload.t) : t =
@@ -47,6 +73,9 @@ let load (w : Workloads.Workload.t) : t =
     seq = lazy (Parexec.Sim.run_sequential prog lids);
     par_cache = Hashtbl.create 8;
     seq_cycles_cache = Hashtbl.create 4;
+    contract_oracle = lazy (Guard.Contract.oracle_of prog []);
+    wall_seq_cache = Hashtbl.create 4;
+    wall_cache = Hashtbl.create 8;
   }
 
 let seq (b : t) = Lazy.force b.seq
@@ -203,3 +232,89 @@ let rp_memory_multiple (b : t) ~threads : float =
   let touched = (par ~rp:true b ~threads:1).Parexec.Sim.pr_rp_touched_bytes in
   let base = (seq b).Parexec.Sim.sq_peak in
   float_of_int (base + ((threads - 1) * touched)) /. float_of_int base
+
+(* ------------------------------------------------------------------ *)
+(* Wall-clock measurement on real domains                              *)
+(* ------------------------------------------------------------------ *)
+
+let median (xs : float list) : float =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  a.(Array.length a / 2)
+
+(** Median wall time (ns) of the sequential original over [repeats]
+    fresh runs. Loading is untimed, mirroring the domain executor's
+    spawn-to-join window. *)
+let wall_seq ?(repeats = 3) (b : t) : float =
+  match Hashtbl.find_opt b.wall_seq_cache repeats with
+  | Some v -> v
+  | None ->
+    let samples =
+      List.init repeats (fun _ ->
+          let m = Interp.Machine.load b.prog in
+          let t0 = Unix.gettimeofday () in
+          ignore (Interp.Machine.run m);
+          (Unix.gettimeofday () -. t0) *. 1e9)
+    in
+    let v = median samples in
+    Hashtbl.replace b.wall_seq_cache repeats v;
+    v
+
+(** Wall-clock run of the expanded program on [domains] real domains,
+    median of [repeats]. Every single run — not just the median — is
+    validated against the original program's finals/output/exit oracle
+    ({!Guard.Contract.check_finals}), so a racy merge cannot hide
+    behind a fast time. *)
+let wall ?(repeats = 3) (b : t) ~(domains : int) : wall_result =
+  match Hashtbl.find_opt b.wall_cache (domains, repeats) with
+  | Some r -> r
+  | None ->
+    let oracle = Lazy.force b.contract_oracle in
+    let plan = b.expanded.Expand.Transform.plan in
+    let name = b.workload.Workloads.Workload.name in
+    let runs =
+      List.init repeats (fun _ ->
+          let r =
+            Domexec.Exec.run ~domains
+              b.expanded.Expand.Transform.transformed plan b.lids
+          in
+          if
+            not
+              (String.equal r.Domexec.Exec.dx_output
+                 oracle.Guard.Contract.o_output)
+          then
+            failwith
+              (Printf.sprintf "%s: domain-run output mismatch at %d domains"
+                 name domains);
+          if r.Domexec.Exec.dx_exit <> oracle.Guard.Contract.o_exit then
+            failwith
+              (Printf.sprintf
+                 "%s: domain-run exit code %d differs from oracle %d" name
+                 r.Domexec.Exec.dx_exit oracle.Guard.Contract.o_exit);
+          Guard.Contract.check_finals oracle plan r.Domexec.Exec.dx_machine;
+          r)
+    in
+    let par_ns = median (List.map (fun r -> r.Domexec.Exec.dx_wall_ns) runs) in
+    let seq_ns = wall_seq ~repeats b in
+    let r0 = List.hd runs in
+    let distributed =
+      List.length
+        (List.filter
+           (fun (lr : Domexec.Exec.loop_report) ->
+             lr.Domexec.Exec.lr_decision = Domexec.Exec.Distributed)
+           r0.Domexec.Exec.dx_loops)
+    in
+    let wr =
+      {
+        wr_domains = domains;
+        wr_used = r0.Domexec.Exec.dx_domains;
+        wr_seq_ns = seq_ns;
+        wr_par_ns = par_ns;
+        wr_speedup = seq_ns /. par_ns;
+        wr_steals = r0.Domexec.Exec.dx_steals;
+        wr_distributed = distributed;
+        wr_fallback = r0.Domexec.Exec.dx_fallback;
+      }
+    in
+    Hashtbl.replace b.wall_cache (domains, repeats) wr;
+    wr

@@ -7,6 +7,14 @@
 
 open Minic
 
+(** Single source of truth for how wide the evaluation fans out: the
+    simulated executor and the real domain executor measure the same
+    counts (bench tables, figures and CI gates all draw from here). *)
+val thread_counts : int list
+
+(** Domain counts for the simulated-vs-real scaling comparison. *)
+val domain_counts : int list
+
 type t = {
   workload : Workloads.Workload.t;
   prog : Ast.program;
@@ -20,6 +28,22 @@ type t = {
   seq : Parexec.Sim.seq_result Lazy.t;
   mutable par_cache : (int * bool * bool, Parexec.Sim.par_result) Hashtbl.t;
   mutable seq_cycles_cache : (string, int * int) Hashtbl.t;
+  contract_oracle : Guard.Contract.oracle Lazy.t;
+  mutable wall_seq_cache : (int, float) Hashtbl.t;
+  mutable wall_cache : (int * int, wall_result) Hashtbl.t;
+}
+
+(** A wall-clock measurement of the domain executor vs the sequential
+    original (both medians of the same repeat count). *)
+and wall_result = {
+  wr_domains : int;  (** domains requested *)
+  wr_used : int;  (** domains actually used (1 = sequential fallback) *)
+  wr_seq_ns : float;
+  wr_par_ns : float;
+  wr_speedup : float;
+  wr_steals : int;
+  wr_distributed : int;  (** parallel loops the executor distributed *)
+  wr_fallback : string option;
 }
 
 val load : Workloads.Workload.t -> t
@@ -77,3 +101,13 @@ val cost_breakdown : t -> threads:int -> Report.Tables.cycles_breakdown
 
 (** The benchmark's full [--metrics] row at [threads]. *)
 val metrics_row : t -> threads:int -> Report.Tables.metrics_row
+
+(** Median wall time (ns) of the sequential original over [repeats]
+    fresh, untimed-load runs. *)
+val wall_seq : ?repeats:int -> t -> float
+
+(** Wall-clock run of the expanded program on [domains] real domains
+    (median of [repeats], default 3). Every run is validated against
+    the original's finals/output/exit oracle. Memoized per
+    (domains, repeats). *)
+val wall : ?repeats:int -> t -> domains:int -> wall_result

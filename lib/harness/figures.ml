@@ -6,7 +6,7 @@ open Report
 
 let name (b : Bench_run.t) = b.Bench_run.workload.Workloads.Workload.name
 
-let threads_list = [ 1; 2; 4; 8 ]
+let threads_list = 1 :: Bench_run.thread_counts
 
 (* ------------------------------------------------------------------ *)
 
@@ -264,6 +264,50 @@ let heatmap (benches : Bench_run.t list) ~(threads : int) : string =
   "Heatmap: cache-line attribution, bonded vs interleaved layout\n"
   ^ Tables.heat_summary_table rows
 
+(** Simulated vs real scaling: the simulator's total speedup (cycles)
+    next to the domain executor's wall-clock speedup at the same
+    counts. Real speedups depend on the host — the table records how
+    many domains each run actually got, and a sequential fallback
+    (1-core host) shows as used=1. *)
+let domexec (benches : Bench_run.t list) : string =
+  let rows =
+    List.concat_map
+      (fun b ->
+        List.map
+          (fun d ->
+            let wr = Bench_run.wall b ~domains:d in
+            let sim =
+              if d = 1 then "1.00"
+              else Tables.fx (Bench_run.total_speedup b ~threads:d)
+            in
+            [
+              name b;
+              string_of_int d;
+              string_of_int wr.Bench_run.wr_used;
+              sim;
+              Tables.fx wr.Bench_run.wr_speedup;
+              string_of_int wr.Bench_run.wr_steals;
+              string_of_int wr.Bench_run.wr_distributed;
+              (match wr.Bench_run.wr_fallback with
+              | Some _ -> "fallback"
+              | None -> "domains");
+            ])
+          Bench_run.domain_counts)
+      benches
+  in
+  Printf.sprintf
+    "Domexec: simulated (cycle) vs real (wall-clock) scaling, median of 3 \
+     runs, host has %d core%s\n"
+    (Domexec.Exec.available_domains ())
+    (if Domexec.Exec.available_domains () > 1 then "s" else "")
+  ^ Tables.render
+      ~header:
+        [
+          "benchmark"; "domains"; "used"; "sim speedup"; "wall speedup";
+          "steals"; "distributed"; "mode";
+        ]
+      rows
+
 (* thunked so that selecting a subset only runs what it needs *)
 let all (benches : Bench_run.t list) : (string * (unit -> string)) list =
   [
@@ -279,4 +323,5 @@ let all (benches : Bench_run.t list) : (string * (unit -> string)) list =
     ("fig14", fun () -> fig14 benches);
     ("metrics", fun () -> metrics benches ~threads:4);
     ("heatmap", fun () -> heatmap benches ~threads:4);
+    ("domexec", fun () -> domexec benches);
   ]

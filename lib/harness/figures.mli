@@ -24,6 +24,11 @@ val fig14 : Bench_run.t list -> string
     rejects report "-". *)
 val heatmap : Bench_run.t list -> threads:int -> string
 
+(** Simulated (cycle) vs real (wall-clock, OCaml domains) scaling at
+    {!Bench_run.domain_counts}; a 1-core host shows the sequential
+    fallback as used=1. *)
+val domexec : Bench_run.t list -> string
+
 (** Every artifact by name, thunked so that selecting a subset only
     runs the measurements it needs. *)
 val all : Bench_run.t list -> (string * (unit -> string)) list

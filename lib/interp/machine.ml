@@ -68,6 +68,15 @@ type state = {
           recognise expanded blocks by their allocation site *)
   mutable rand_state : int64;
   mutable fuel : int;  (** decremented per loop iteration and call *)
+  mutable iter_skip : bool;
+      (** when set by a loop hook at [Iter i], the body of that
+          iteration is skipped (condition and step still run); the
+          domain executor uses this to walk a distributed loop's
+          traversal while executing only the iterations it owns *)
+  mutable bulk_hook : (int -> int option -> int -> unit) option;
+      (** (dst, src, len) after a bulk byte move: memset (src = None),
+          memcpy and the copying half of realloc. Complements
+          [observer], which only sees scalar accesses *)
 }
 
 exception Runtime_error of string
@@ -133,6 +142,8 @@ let make_state () : state =
     alloc_hook = None;
     rand_state = 0x9E3779B97F4A7C15L;
     fuel = 2_000_000_000;
+    iter_skip = false;
+    bulk_hook = None;
   }
 
 let global_addr st name =
@@ -649,11 +660,17 @@ and compile_loop st lid cc cbody cstep : unit -> unit =
          charge st Cost.branch;
          st.stats.n_branches <- st.stats.n_branches + 1;
          if truthy (cc ()) then begin
-           (try cbody () with Continue_exc -> ());
+           if st.iter_skip then st.iter_skip <- false
+           else (try cbody () with Continue_exc -> ());
            cstep ();
            incr iter
          end
-         else continue_ := false
+         else begin
+           (* the trailing [Iter] probe may have requested a skip for a
+              body that will never run; don't leak it past the loop *)
+           st.iter_skip <- false;
+           continue_ := false
+         end
        done
      with Break_exc -> ());
     match st.loop_hook with Some h -> h lid Exit | None -> ()
@@ -782,6 +799,9 @@ and compile_builtin ctx loc ?ret_aid name : value list -> value =
         let old = Memory.block_size st.mem p in
         let fresh = Memory.alloc st.mem n in
         Memory.blit st.mem ~src:p ~dst:fresh ~len:(min old n);
+        (match st.bulk_hook with
+        | Some h -> h fresh (Some p) (min old n)
+        | None -> ());
         (match st.free_hook with Some h -> h p old | None -> ());
         Memory.free st.mem p;
         notify_alloc fresh n;
@@ -823,6 +843,7 @@ and compile_builtin ctx loc ?ret_aid name : value list -> value =
     | [ p; c; n ] ->
       let p = Int64.to_int (as_int p) and n = Int64.to_int (as_int n) in
       Memory.fill st.mem ~dst:p ~len:n (Int64.to_int (as_int c));
+      (match st.bulk_hook with Some h -> h p None n | None -> ());
       charge st (n / 8 * Cost.store);
       Vint (Int64.of_int p)
     | _ -> runtime_error "bad arity for memset")
@@ -833,6 +854,7 @@ and compile_builtin ctx loc ?ret_aid name : value list -> value =
       and s = Int64.to_int (as_int s)
       and n = Int64.to_int (as_int n) in
       Memory.blit st.mem ~src:s ~dst:d ~len:n;
+      (match st.bulk_hook with Some h -> h d (Some s) n | None -> ());
       charge st (n / 8 * (Cost.load + Cost.store));
       Vint (Int64.of_int d)
     | _ -> runtime_error "bad arity for memcpy")

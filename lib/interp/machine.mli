@@ -48,6 +48,16 @@ type state = {
           realloc; the aid is that of the call's return-value store *)
   mutable rand_state : int64;
   mutable fuel : int;  (** decremented per loop iteration and call *)
+  mutable iter_skip : bool;
+      (** set by a loop hook at [Iter i] to skip that iteration's body
+          while still running the condition and step; the domain
+          executor walks a distributed loop's traversal with this,
+          executing only the chunks it owns. Cleared automatically
+          after each iteration *)
+  mutable bulk_hook : (int -> int option -> int -> unit) option;
+      (** (dst, src, len) after a bulk byte move — memset (src =
+          [None]), memcpy, and the copying half of realloc; complements
+          [observer], which only reports scalar accesses *)
 }
 
 exception Runtime_error of string

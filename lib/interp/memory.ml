@@ -150,6 +150,17 @@ let store_float m addr size (f : float) : unit =
   | 8 -> Bytes.set_int64_le m.data addr (Int64.bits_of_float f)
   | _ -> fault "unsupported float store width %d" size
 
+(* Raw byte windows, used by the domain executor to capture store
+   values into a write log and replay them on sibling machines. *)
+
+let read_raw m addr len : string =
+  check m addr len;
+  Bytes.sub_string m.data addr len
+
+let write_raw m addr (s : string) : unit =
+  check m addr (String.length s);
+  Bytes.blit_string s 0 m.data addr (String.length s)
+
 let blit m ~src ~dst ~len =
   check m src len;
   check m dst len;

@@ -38,6 +38,13 @@ val store_float : t -> int -> int -> float -> unit
 val blit : t -> src:int -> dst:int -> len:int -> unit
 val fill : t -> dst:int -> len:int -> int -> unit
 
+(** Raw byte window of [len] bytes at [addr] (bounds-checked). The
+    domain executor captures store values with this and replays them
+    with {!write_raw} on sibling machines. *)
+val read_raw : t -> int -> int -> string
+
+val write_raw : t -> int -> string -> unit
+
 (** Store an OCaml string as a NUL-terminated C string; returns its
     address. *)
 val write_cstring : t -> string -> int

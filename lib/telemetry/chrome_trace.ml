@@ -37,14 +37,25 @@ let wall_pid = 1
 let sim_loop_pid = 10
 let sim_thread_pid t = 100 + t
 
+(* Real OCaml domains (the domexec executor) emit Sim-clock events —
+   their timestamps are host nanoseconds rather than simulated cycles,
+   so re-timing would be wrong — in a tid namespace far above any
+   simulated thread id, and get one pseudo-process per domain. *)
+let domain_tid_base = 1000
+let domain_pid d = 2000 + d
+
 let pid_of (clock : Event.clock) (tid : int) : int =
   match clock with
   | Event.Wall -> wall_pid
-  | Event.Sim -> if tid < 0 then sim_loop_pid else sim_thread_pid tid
+  | Event.Sim ->
+    if tid < 0 then sim_loop_pid
+    else if tid >= domain_tid_base then domain_pid (tid - domain_tid_base)
+    else sim_thread_pid tid
 
 let pid_name (pid : int) : string =
   if pid = wall_pid then "toolchain"
   else if pid = sim_loop_pid then "simulator"
+  else if pid >= 2000 then Printf.sprintf "domain-%d" (pid - 2000)
   else Printf.sprintf "sim-thread-%d" (pid - 100)
 
 let record ~ph ~name ?cat ~pid ~ts () : Json.t =

@@ -6,6 +6,12 @@
     B/E events are balanced by construction (leftover spans are closed
     at export). *)
 
+(** Sim-clock events with [tid >= domain_tid_base] belong to real
+    OCaml domains (the domexec executor): tid [domain_tid_base + d]
+    renders as pseudo-process "domain-d", and its timestamps (host
+    nanoseconds) are kept verbatim rather than re-timed. *)
+val domain_tid_base : int
+
 type t
 
 val create : unit -> t
