@@ -345,6 +345,56 @@ let compare_against ~file (benches : Harness.Bench_run.t list) : int =
   if !stale then print_endline update_hint;
   !regressions
 
+(* Fault-free supervision overhead: the supervised executor may cost
+   at most 5% (plus 2 ms of fixed slack, for sub-millisecond loops)
+   over the raw one on the same domain count, both medians of the same
+   repeat count. Part of --compare, so an expensive supervisor counts
+   as a regression. *)
+let supervisor_overhead_check (benches : Harness.Bench_run.t list) : int =
+  let repeats = 3 in
+  (* force:true — the parallel scheduler path is what is being costed,
+     and it is correct (just not faster) on any core count *)
+  let domains = 2 in
+  let regressions = ref 0 in
+  Printf.printf
+    "\n== supervisor overhead (fault-free, domains=%d, limit +5%% / +2 ms) ==\n"
+    domains;
+  List.iter
+    (fun (b : Harness.Bench_run.t) ->
+      let prog = b.Harness.Bench_run.expanded.Expand.Transform.transformed in
+      let plan = b.Harness.Bench_run.expanded.Expand.Transform.plan in
+      let lids = b.Harness.Bench_run.lids in
+      let raw_run () =
+        (Domexec.Exec.run ~domains ~force:true prog plan lids)
+          .Domexec.Exec.dx_wall_ns
+      in
+      let sup_run () =
+        match
+          (Domexec.Supervisor.run ~domains ~force:true prog plan lids)
+            .Domexec.Supervisor.sup_result
+        with
+        | Some r -> r.Domexec.Exec.dx_wall_ns
+        | None -> infinity
+      in
+      (* interleave the pairs and take minima: host noise drifts over
+         seconds, so back-to-back batches would compare two different
+         machines; the min of N is the least-disturbed run of each *)
+      let raw = ref infinity and sup = ref infinity in
+      for _ = 1 to repeats do
+        raw := Float.min !raw (raw_run ());
+        sup := Float.min !sup (sup_run ())
+      done;
+      let raw = !raw and sup = !sup in
+      let limit = (raw *. 1.05) +. 2e6 in
+      let worse = sup > limit in
+      if worse then incr regressions;
+      Printf.printf "%-16s raw %8.2f ms, supervised %8.2f ms  %+6.1f%%%s\n"
+        (bench_name b) (raw /. 1e6) (sup /. 1e6)
+        ((sup /. raw -. 1.) *. 100.)
+        (if worse then "  REGRESSION" else ""))
+    benches;
+  !regressions
+
 let () =
   let argv = Array.to_list Sys.argv in
   let fast = List.mem "--fast" argv in
@@ -361,7 +411,9 @@ let () =
   (match arg_of "--compare" argv with
   | Some file ->
     let benches = List.map Harness.Bench_run.load (workloads_for ()) in
-    let regressions = compare_against ~file benches in
+    let regressions =
+      compare_against ~file benches + supervisor_overhead_check benches
+    in
     if regressions > 0 then begin
       Printf.printf "%d metric(s) regressed beyond tolerance\n" regressions;
       exit 1

@@ -93,8 +93,11 @@ let fault_arg =
     & opt (some string) None
     & info [ "fault" ] ~docv:"SPEC"
         ~doc:
-          "With --ladder: inject a fault. SPEC is one of drop-edge, \
-           misclassify, truncate-span:BYTES, alloc-fail:N.")
+          "With --ladder or --exec domains: inject a fault. SPEC is one of \
+           drop-edge, misclassify, truncate-span:BYTES, alloc-fail:N, \
+           domain-crash[:N], domain-stall[:N], writelog-corrupt[:N], \
+           steal-contention[:N]. The domain-* and steal-contention kinds \
+           are armed on the real-domain supervisor.")
 
 let seed_arg =
   Arg.(
@@ -108,7 +111,37 @@ let campaign_arg =
     & info [ "campaign" ]
         ~doc:
           "Run the full fault-injection campaign (every workload, clean \
-           and under one fault of each kind) and print the ladder table.")
+           and under one fault of each kind) and print the ladder table; \
+           $(b,-w) restricts the sweep to that one workload. With --exec \
+           domains the grid also sweeps the domain-level faults through \
+           the supervised real-domain rung.")
+
+let campaign_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "campaign-json" ] ~docv:"FILE"
+        ~doc:
+          "With --campaign: also write the sweep as a JSON artifact \
+           (schema dsexpand-campaign/2) to FILE.")
+
+let retry_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "retry" ] ~docv:"N"
+        ~doc:
+          "With --exec domains: supervised retry budget — both the \
+           per-chunk acquisition attempts and the number of full run \
+           attempts (default 3).")
+
+let watchdog_ms_arg =
+  Arg.(
+    value & opt int 5000
+    & info [ "watchdog-ms" ] ~docv:"MS"
+        ~doc:
+          "With --exec domains: per-chunk heartbeat deadline; a domain \
+           holding a chunk longer than this aborts the attempt instead of \
+           hanging the run (default 5000).")
 
 let trace_arg =
   Arg.(
@@ -198,21 +231,25 @@ let parse_fault ~seed spec =
     prerr_endline
       ("unknown fault spec '" ^ spec
      ^ "' (expected drop-edge | misclassify | truncate-span:BYTES | \
-        alloc-fail:N)");
+        alloc-fail:N | domain-crash[:N] | domain-stall[:N] | \
+        writelog-corrupt[:N] | steal-contention[:N])");
     exit 2
   in
+  let pos n = match int_of_string_opt n with Some k when k > 0 -> k | _ -> fail () in
   let kind =
     match String.split_on_char ':' spec with
     | [ "drop-edge" ] -> Faultinject.Fault.Drop_dep_edge
     | [ "misclassify" ] -> Faultinject.Fault.Force_misclassify
-    | [ "truncate-span"; n ] -> (
-      match int_of_string_opt n with
-      | Some b when b > 0 -> Faultinject.Fault.Truncate_span b
-      | _ -> fail ())
-    | [ "alloc-fail"; n ] -> (
-      match int_of_string_opt n with
-      | Some k when k > 0 -> Faultinject.Fault.Alloc_failure k
-      | _ -> fail ())
+    | [ "truncate-span"; n ] -> Faultinject.Fault.Truncate_span (pos n)
+    | [ "alloc-fail"; n ] -> Faultinject.Fault.Alloc_failure (pos n)
+    | [ "domain-crash" ] -> Faultinject.Fault.Domain_crash 1
+    | [ "domain-crash"; n ] -> Faultinject.Fault.Domain_crash (pos n)
+    | [ "domain-stall" ] -> Faultinject.Fault.Domain_stall 1
+    | [ "domain-stall"; n ] -> Faultinject.Fault.Domain_stall (pos n)
+    | [ "writelog-corrupt" ] -> Faultinject.Fault.Writelog_corrupt 1
+    | [ "writelog-corrupt"; n ] -> Faultinject.Fault.Writelog_corrupt (pos n)
+    | [ "steal-contention" ] -> Faultinject.Fault.Steal_contention 4
+    | [ "steal-contention"; n ] -> Faultinject.Fault.Steal_contention (pos n)
     | _ -> fail ()
   in
   Faultinject.Fault.make ~seed kind
@@ -442,12 +479,47 @@ let load_source input workload =
     prerr_endline "exactly one of --input or --workload is required";
     exit 2
 
-let run_ladder ~threads ~seed prog analyses fault_spec =
+(* Structured exit codes for supervised real-domain outcomes (the
+   simulated paths keep their historical 0/1/2): *)
+let exit_recovered = 3  (** output correct, but recovery was needed *)
+
+let exit_fellback = 4  (** a lower ladder rung held (output correct) *)
+
+let exit_aborted = 5  (** no trustworthy output *)
+
+let outcome_word code =
+  match code with
+  | 0 -> "ok"
+  | 3 -> "recovered"
+  | 4 -> "fell-back"
+  | _ -> "aborted"
+
+(* Parse --fault for the supervised paths: only domain-level kinds are
+   armed there; pipeline-level kinds mangle the analyses and belong to
+   the ladder's simulated rungs. *)
+let domain_fault_of ~seed fault_spec =
+  match fault_spec with
+  | None -> None
+  | Some spec ->
+    let f = parse_fault ~seed spec in
+    if Faultinject.Fault.domain_level f then begin
+      Printf.printf "fault %s: armed on the domain supervisor\n"
+        (Faultinject.Fault.describe f);
+      Some f
+    end
+    else None
+
+let run_ladder ~threads ~seed ~exec_mode ~domains ~chunk ~retry ~watchdog_ms
+    prog analyses fault_spec =
   let threads = if threads > 1 then threads else 2 in
   let oracle = Guard.Contract.oracle_of prog analyses in
+  let dom_fault =
+    if exec_mode = `Domains then domain_fault_of ~seed fault_spec else None
+  in
   let analyses', span_shrink, attach_extra =
     match fault_spec with
     | None -> (analyses, None, None)
+    | Some _ when dom_fault <> None -> (analyses, None, None)
     | Some spec ->
       let f = parse_fault ~seed spec in
       let app = Faultinject.Fault.mangle f prog analyses in
@@ -458,13 +530,19 @@ let run_ladder ~threads ~seed prog analyses fault_spec =
         Faultinject.Fault.span_shrink f,
         Some (Faultinject.Fault.attach_machine f) )
   in
+  let force = domains <> None in
   let o =
     Harness.Ladder.run ~threads ~reference:analyses ~oracle ?span_shrink
-      ?attach_extra prog analyses'
+      ?attach_extra ~exec:exec_mode ?domains ?chunk ~force ~retry ~watchdog_ms
+      ?fault:dom_fault prog analyses'
   in
   List.iter
     (fun d -> print_endline (Harness.Ladder.diagnostic_to_string d))
     o.Harness.Ladder.diagnostics;
+  (match o.Harness.Ladder.dom_sup with
+  | Some sup ->
+    Printf.printf "supervisor: %s\n" (Domexec.Supervisor.summary sup)
+  | None -> ());
   let ok =
     String.equal o.Harness.Ladder.output oracle.Guard.Contract.o_output
     && o.Harness.Ladder.exit_code = oracle.Guard.Contract.o_exit
@@ -473,13 +551,35 @@ let run_ladder ~threads ~seed prog analyses fault_spec =
     (Harness.Ladder.rung_name o.Harness.Ladder.rung)
     (List.length o.Harness.Ladder.diagnostics)
     (if ok then "identical" else "DIFFERS");
-  if not ok then exit 1
+  (* structured rung + trigger line for drivers, on stderr *)
+  Printf.eprintf "dsexpand: rung=%s trigger=%s\n"
+    (Harness.Ladder.rung_name o.Harness.Ladder.rung)
+    (match o.Harness.Ladder.diagnostics with
+    | [] -> "none"
+    | d :: _ -> Harness.Ladder.trigger_to_string d.Harness.Ladder.trigger);
+  if exec_mode = `Domains then begin
+    let code =
+      if not ok then exit_aborted
+      else
+        match (o.Harness.Ladder.rung, o.Harness.Ladder.dom_sup) with
+        | Harness.Ladder.Domains, Some sup ->
+          if sup.Domexec.Supervisor.sup_outcome = Domexec.Supervisor.Completed
+          then 0
+          else exit_recovered
+        | Harness.Ladder.Domains, None -> 0
+        | _ -> exit_fellback
+    in
+    Printf.eprintf "dsexpand: outcome=%s\n" (outcome_word code);
+    exit code
+  end
+  else if not ok then exit 1
 
-(** Real parallel execution of the expanded program on OCaml domains.
-    Every run is validated: output and exit code against the original,
-    final global state via the privatization contract. *)
-let run_domains ~domains ~chunk ~file prog (res : Expand.Transform.result)
-    (lids : Minic.Ast.lid list) : unit =
+(** Real parallel execution of the expanded program on OCaml domains,
+    under supervision (crash isolation, chunk retry, watchdog). Every
+    run is validated: output and exit code against the original, final
+    global state via the privatization contract. *)
+let run_domains ~domains ~chunk ~retry ~watchdog_ms ~seed ~fault_spec ~file
+    prog (res : Expand.Transform.result) (lids : Minic.Ast.lid list) : unit =
   let plan = res.Expand.Transform.plan in
   let oracle = Guard.Contract.oracle_of prog [] in
   let m0 = Interp.Machine.load prog in
@@ -489,51 +589,89 @@ let run_domains ~domains ~chunk ~file prog (res : Expand.Transform.result)
   (* An explicit --domains N is a request for the parallel scheduler
      even when the host reports one core. *)
   let force = domains <> None in
-  let r = Domexec.Exec.run ?domains ?chunk ~force res.Expand.Transform.transformed plan lids in
-  Printf.printf "exec domains: %s, requested %d, used %d%s\n" file
-    r.Domexec.Exec.dx_requested r.Domexec.Exec.dx_domains
-    (match r.Domexec.Exec.dx_fallback with
-    | Some why -> Printf.sprintf " (sequential fallback: %s)" why
-    | None -> "");
-  List.iter
-    (fun (lr : Domexec.Exec.loop_report) ->
-      Printf.printf "  loop %d: %s (%d invocation%s, %d iterations)\n"
-        lr.Domexec.Exec.lr_lid
-        (Domexec.Exec.decision_to_string lr.Domexec.Exec.lr_decision)
-        lr.Domexec.Exec.lr_invocations
-        (if lr.Domexec.Exec.lr_invocations = 1 then "" else "s")
-        lr.Domexec.Exec.lr_iterations)
-    r.Domexec.Exec.dx_loops;
-  Printf.printf "  steals %d, chunks [%s], merges %d\n"
-    r.Domexec.Exec.dx_steals
-    (String.concat " "
-       (Array.to_list (Array.map string_of_int r.Domexec.Exec.dx_chunks_run)))
-    r.Domexec.Exec.dx_merges;
-  Printf.printf
-    "  wall: sequential %.1f ms, domains %.1f ms, speedup %.2fx\n" (seq_ns /. 1e6)
-    (r.Domexec.Exec.dx_wall_ns /. 1e6)
-    (seq_ns /. r.Domexec.Exec.dx_wall_ns);
-  let ok_out = String.equal r.Domexec.Exec.dx_output oracle.Guard.Contract.o_output in
-  let ok_exit = r.Domexec.Exec.dx_exit = oracle.Guard.Contract.o_exit in
-  (match Guard.Contract.check_finals oracle plan r.Domexec.Exec.dx_machine with
-  | () ->
-    Printf.printf "  output %s, exit %s, finals identical\n"
-      (if ok_out then "identical" else "DIFFERS")
-      (if ok_exit then "identical" else "DIFFERS")
-  | exception Guard.Violation.Violation v ->
-    Printf.printf "contract tripped: %s\n" (Guard.Violation.to_string v);
-    exit 1);
-  if not (ok_out && ok_exit) then exit 1
+  let fault = domain_fault_of ~seed fault_spec in
+  let sup =
+    Domexec.Supervisor.run ?domains ?chunk ~force ~retry ~watchdog_ms ?fault
+      res.Expand.Transform.transformed plan lids
+  in
+  let finish code =
+    Printf.eprintf "dsexpand: exec=domains outcome=%s\n" (outcome_word code);
+    if code <> 0 then exit code
+  in
+  match sup.Domexec.Supervisor.sup_result with
+  | None ->
+    List.iter
+      (fun e -> prerr_endline (Guard.Diag.sup_event_to_string e))
+      sup.Domexec.Supervisor.sup_events;
+    Printf.printf "supervisor: %s\n" (Domexec.Supervisor.summary sup);
+    finish exit_aborted
+  | Some r ->
+    Printf.printf "exec domains: %s, requested %d, used %d%s\n" file
+      r.Domexec.Exec.dx_requested r.Domexec.Exec.dx_domains
+      (match r.Domexec.Exec.dx_fallback with
+      | Some why -> Printf.sprintf " (sequential fallback: %s)" why
+      | None -> "");
+    List.iter
+      (fun (lr : Domexec.Exec.loop_report) ->
+        Printf.printf "  loop %d: %s (%d invocation%s, %d iterations)\n"
+          lr.Domexec.Exec.lr_lid
+          (Domexec.Exec.decision_to_string lr.Domexec.Exec.lr_decision)
+          lr.Domexec.Exec.lr_invocations
+          (if lr.Domexec.Exec.lr_invocations = 1 then "" else "s")
+          lr.Domexec.Exec.lr_iterations)
+      r.Domexec.Exec.dx_loops;
+    Printf.printf "  steals %d (lost %d), chunks [%s], merges %d\n"
+      r.Domexec.Exec.dx_steals r.Domexec.Exec.dx_steal_lost
+      (String.concat " "
+         (Array.to_list (Array.map string_of_int r.Domexec.Exec.dx_chunks_run)))
+      r.Domexec.Exec.dx_merges;
+    Printf.printf "  supervisor: %s\n" (Domexec.Supervisor.summary sup);
+    Printf.printf
+      "  wall: sequential %.1f ms, domains %.1f ms, speedup %.2fx\n" (seq_ns /. 1e6)
+      (r.Domexec.Exec.dx_wall_ns /. 1e6)
+      (seq_ns /. r.Domexec.Exec.dx_wall_ns);
+    let ok_out = String.equal r.Domexec.Exec.dx_output oracle.Guard.Contract.o_output in
+    let ok_exit = r.Domexec.Exec.dx_exit = oracle.Guard.Contract.o_exit in
+    (match Guard.Contract.check_finals oracle plan r.Domexec.Exec.dx_machine with
+    | () ->
+      Printf.printf "  output %s, exit %s, finals identical\n"
+        (if ok_out then "identical" else "DIFFERS")
+        (if ok_exit then "identical" else "DIFFERS")
+    | exception Guard.Violation.Violation v ->
+      Printf.printf "contract tripped: %s\n" (Guard.Violation.to_string v);
+      finish exit_aborted);
+    if not (ok_out && ok_exit) then finish exit_aborted;
+    finish
+      (if sup.Domexec.Supervisor.sup_outcome = Domexec.Supervisor.Completed
+       then 0
+       else exit_recovered)
 
 let run input workload dump_deps report check threads no_opt unselective
-    guard ladder fault seed campaign trace metrics metrics_format explain
-    explain_format heatmap exec_mode domains chunk =
+    guard ladder fault seed campaign campaign_json trace metrics
+    metrics_format explain explain_format heatmap exec_mode domains chunk
+    retry watchdog_ms =
   setup_telemetry ~trace ~metrics ~metrics_format;
   if campaign then begin
     let entries =
-      Harness.Campaign.run ~threads:(if threads > 1 then threads else 2) ()
+      Harness.Campaign.run
+        ~threads:(if threads > 1 then threads else 2)
+        ~exec:exec_mode ?domains ?chunk
+        ~force:(domains <> None)
+        ~retry ~watchdog_ms
+        ?workloads:
+          (Option.map (fun w -> [ Workloads.Registry.find w ]) workload)
+        ()
     in
     print_string (Harness.Campaign.table entries);
+    (match campaign_json with
+    | Some path ->
+      let oc = open_out_bin path in
+      output_string oc
+        (Telemetry.Json.to_string (Harness.Campaign.to_json entries));
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "campaign JSON -> %s\n" path
+    | None -> ());
     if not (List.for_all Harness.Campaign.entry_safe entries) then exit 1
   end
   else begin
@@ -548,7 +686,9 @@ let run input workload dump_deps report check threads no_opt unselective
     exit 1
   end;
   let analyses = List.map (Privatize.Analyze.analyze prog) lids in
-  if ladder then run_ladder ~threads ~seed prog analyses fault
+  if ladder then
+    run_ladder ~threads ~seed ~exec_mode ~domains ~chunk ~retry ~watchdog_ms
+      prog analyses fault
   else if dump_deps then
     List.iter
       (fun (a : Privatize.Analyze.result) ->
@@ -609,7 +749,9 @@ let run input workload dump_deps report check threads no_opt unselective
     in
     if explain then print_explain ~format:explain_format ~file analyses res;
     Option.iter (write_heatmap ~threads ~file analyses res) heatmap;
-    if exec_mode = `Domains then run_domains ~domains ~chunk ~file prog res lids
+    if exec_mode = `Domains then
+      run_domains ~domains ~chunk ~retry ~watchdog_ms ~seed ~fault_spec:fault
+        ~file prog res lids
     else if check then begin
       let code0, out0 = Interp.Machine.run_program prog in
       let m = Interp.Machine.load res.Expand.Transform.transformed in
@@ -683,8 +825,9 @@ let cmd =
     Term.(
       const run $ input_arg $ workload_arg $ dump_deps_arg $ report_arg
       $ check_arg $ threads_arg $ no_opt_arg $ unselective_arg $ guard_arg
-      $ ladder_arg $ fault_arg $ seed_arg $ campaign_arg $ trace_arg
-      $ metrics_arg $ metrics_format_arg $ explain_arg $ explain_format_arg
-      $ heatmap_arg $ exec_arg $ domains_arg $ chunk_arg)
+      $ ladder_arg $ fault_arg $ seed_arg $ campaign_arg $ campaign_json_arg
+      $ trace_arg $ metrics_arg $ metrics_format_arg $ explain_arg
+      $ explain_format_arg $ heatmap_arg $ exec_arg $ domains_arg $ chunk_arg
+      $ retry_arg $ watchdog_ms_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -13,6 +13,8 @@ type 'a t = {
   bottom : int Atomic.t;  (** next slot to push *)
 }
 
+type 'a steal_result = Stolen of 'a | Steal_empty | Steal_lost
+
 let create ?(capacity = 256) () =
   let rec pow2 n = if n >= capacity then n else pow2 (2 * n) in
   let cap = pow2 1 in
@@ -50,21 +52,26 @@ let pop q =
   end
   else q.buf.(b land q.mask)
 
-let rec steal q =
+(* A steal is a single CAS attempt: a lost race is reported as
+   Steal_lost rather than retried, so callers can count contention
+   (and fault injection can force losses) without hiding it. *)
+let steal q =
   let t = Atomic.get q.top in
   let b = Atomic.get q.bottom in
-  if t >= b then None
+  if t >= b then Steal_empty
   else
-    let x = q.buf.(t land q.mask) in
-    if Atomic.compare_and_set q.top t (t + 1) then x else steal q
+    match q.buf.(t land q.mask) with
+    | Some x ->
+      if Atomic.compare_and_set q.top t (t + 1) then Stolen x else Steal_lost
+    | None -> Steal_lost
 
-let rec steal_if pred q =
+let steal_if pred q =
   let t = Atomic.get q.top in
   let b = Atomic.get q.bottom in
-  if t >= b then None
+  if t >= b then Steal_empty
   else
     match q.buf.(t land q.mask) with
     | Some x when pred x ->
-      if Atomic.compare_and_set q.top t (t + 1) then Some x
-      else steal_if pred q
-    | _ -> None
+      if Atomic.compare_and_set q.top t (t + 1) then Stolen x else Steal_lost
+    | Some _ -> Steal_empty
+    | None -> Steal_lost

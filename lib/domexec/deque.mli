@@ -5,9 +5,21 @@
     the CAS has no ABA problem; a slot is reused only after [capacity]
     further pushes, and the scheduler never holds more than one loop's
     chunks in flight, so a slot's value is published (by the [bottom]
-    store) strictly before any thief can observe its index. *)
+    store) strictly before any thief can observe its index.
+
+    Steal outcomes are typed: {!Steal_lost} (the CAS race was lost —
+    retrying may succeed) is distinct from {!Steal_empty} (nothing
+    eligible to take), so callers can account contention separately
+    from exhaustion. *)
 
 type 'a t
+
+type 'a steal_result =
+  | Stolen of 'a
+  | Steal_empty  (** deque empty, or its top fails the predicate *)
+  | Steal_lost
+      (** another thief (or the owner's last-element pop) won the CAS;
+          the element may still be there — retrying can succeed *)
 
 (** [create ~capacity ()] rounds [capacity] up to a power of two. *)
 val create : ?capacity:int -> unit -> 'a t
@@ -18,14 +30,15 @@ val push : 'a t -> 'a -> unit
 (** Owner only: take the most recently pushed remaining element. *)
 val pop : 'a t -> 'a option
 
-(** Any domain: take the oldest remaining element. Returns [None] when
-    the deque is empty or the race for the element was lost. *)
-val steal : 'a t -> 'a option
+(** Any domain: take the oldest remaining element. A single CAS
+    attempt; contention is reported as {!Steal_lost}, never retried
+    internally. *)
+val steal : 'a t -> 'a steal_result
 
 (** [steal_if pred q] steals the top element only when it satisfies
-    [pred]; a failing predicate leaves the deque untouched. Retries
-    internally when another thief wins the CAS first. *)
-val steal_if : ('a -> bool) -> 'a t -> 'a option
+    [pred]; a failing predicate leaves the deque untouched and reports
+    {!Steal_empty}. A lost CAS race reports {!Steal_lost}. *)
+val steal_if : ('a -> bool) -> 'a t -> 'a steal_result
 
 (** Snapshot size ([bottom - top]); exact only in quiescence. *)
 val size : 'a t -> int

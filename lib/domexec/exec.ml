@@ -33,11 +33,36 @@ type result = {
   dx_domains : int;
   dx_wall_ns : float;
   dx_steals : int;
+  dx_steal_lost : int;
   dx_chunks_run : int array;
   dx_merges : int;
   dx_loops : loop_report list;
   dx_fallback : string option;
   dx_machine : Interp.Machine.t;
+}
+
+type chunk_ref = {
+  ck_lid : Ast.lid;
+  ck_inv : int;
+  ck_chunk : int;
+  ck_nchunks : int;
+}
+
+exception Supervised_abort of string
+exception Retry_exhausted of chunk_ref
+exception Log_corrupted of chunk_ref
+exception Chunk_lost of chunk_ref
+
+type supervision = {
+  sv_budget : int;
+  sv_on_chunk : dom:int -> attempt:int -> chunk_ref -> bool;
+  sv_backoff : attempt:int -> unit;
+  sv_chunk_done : dom:int -> chunk_ref -> unit;
+  sv_corrupt_log : dom:int -> chunk_ref -> bool;
+  sv_steal_veto : dom:int -> bool;
+  sv_tick : unit -> unit;
+  sv_register_poison : (exn -> unit) -> unit;
+  sv_event : dom:int -> kind:string -> detail:string -> unit;
 }
 
 let decision_to_string = function
@@ -375,6 +400,7 @@ let apply_log mem (s : string) =
    Distinct array slots are written by distinct domains; the merge
    barrier publishes them. *)
 type slot = {
+  sl_key : Ast.lid * int;  (** (loop, invocation) this slot belongs to *)
   sl_trip : int;
   sl_chunk : int;
   sl_nchunks : int;
@@ -382,7 +408,70 @@ type slot = {
   sl_outs : string option array;  (** per-iteration output fragment *)
   sl_deltas : int64 array array;  (** per domain, per induction var *)
   sl_delta_addrs : (int * int) array;
+  sl_sums : string array;
+      (** supervised runs only: per-chunk digest of logs+outs, taken at
+          chunk completion and re-checked before every merge replay *)
+  sl_done : bool array;  (** supervised runs only: chunk executed *)
 }
+
+let chunk_ref_of (slot : slot) (c : int) : chunk_ref =
+  {
+    ck_lid = fst slot.sl_key;
+    ck_inv = snd slot.sl_key;
+    ck_chunk = c;
+    ck_nchunks = slot.sl_nchunks;
+  }
+
+(* Digest of everything a chunk contributed: its iterations' write
+   logs and output fragments. Recorded by the executing domain at
+   chunk completion, re-derived by every domain before replaying the
+   merge — any in-flight corruption of the shared arrays is caught
+   before it can reach memory. *)
+let chunk_digest (slot : slot) (c : int) : string =
+  let k = slot.sl_chunk in
+  let lo = c * k and hi = min slot.sl_trip ((c + 1) * k) in
+  let b = Buffer.create 256 in
+  for i = lo to hi - 1 do
+    (match slot.sl_logs.(i) with
+    | Some l ->
+      Buffer.add_char b 'L';
+      Buffer.add_string b l
+    | None -> Buffer.add_char b '.');
+    match slot.sl_outs.(i) with
+    | Some o ->
+      Buffer.add_char b 'O';
+      Buffer.add_string b o
+    | None -> Buffer.add_char b '.'
+  done;
+  Digest.string (Buffer.contents b)
+
+(* Flip the last byte of the chunk's first recorded write log (or,
+   failing that, output fragment) — the Writelog_corrupt fault.
+   Returns false when the chunk recorded nothing corruptible. *)
+let corrupt_chunk (slot : slot) (c : int) : bool =
+  let k = slot.sl_chunk in
+  let lo = c * k and hi = min slot.sl_trip ((c + 1) * k) in
+  let flip (s : string) : string =
+    let b = Bytes.of_string s in
+    let j = Bytes.length b - 1 in
+    Bytes.set b j (Char.chr (Char.code (Bytes.get b j) lxor 0xFF));
+    Bytes.unsafe_to_string b
+  in
+  let rec go i =
+    if i >= hi then false
+    else
+      match slot.sl_logs.(i) with
+      | Some l when String.length l > 0 ->
+        slot.sl_logs.(i) <- Some (flip l);
+        true
+      | _ -> (
+        match slot.sl_outs.(i) with
+        | Some o when String.length o > 0 ->
+          slot.sl_outs.(i) <- Some (flip o);
+          true
+        | _ -> go (i + 1))
+  in
+  go lo
 
 type dom_active = {
   da_slot : slot;
@@ -411,7 +500,7 @@ let chunk_size ~override ~trip ~domains =
   | Some k -> max 1 k
   | None -> max 1 (ceil_div trip (4 * domains))
 
-let run ?domains ?chunk ?(force = false) (prog : Ast.program)
+let run ?domains ?chunk ?(force = false) ?sup (prog : Ast.program)
     (plan : Expand.Plan.t) (lids : Ast.lid list) : result =
   let requested =
     match domains with Some n -> max 1 n | None -> available_domains ()
@@ -437,6 +526,7 @@ let run ?domains ?chunk ?(force = false) (prog : Ast.program)
       dx_domains = 1;
       dx_wall_ns = wall;
       dx_steals = 0;
+      dx_steal_lost = 0;
       dx_chunks_run = [| 0 |];
       dx_merges = 0;
       dx_loops = [];
@@ -459,6 +549,7 @@ let run ?domains ?chunk ?(force = false) (prog : Ast.program)
           max_own := max !max_own (ceil_div nchunks n);
           Hashtbl.replace slots key
             {
+              sl_key = key;
               sl_trip = ip.ip_trip;
               sl_chunk = k;
               sl_nchunks = nchunks;
@@ -468,6 +559,8 @@ let run ?domains ?chunk ?(force = false) (prog : Ast.program)
                 Array.init n (fun _ ->
                     Array.make (Array.length ip.ip_deltas) 0L);
               sl_delta_addrs = ip.ip_deltas;
+              sl_sums = Array.make nchunks "";
+              sl_done = Array.make nchunks false;
             }
         | _ -> ())
       pp.pp_invs;
@@ -475,7 +568,11 @@ let run ?domains ?chunk ?(force = false) (prog : Ast.program)
       Array.init n (fun _ -> Deque.create ~capacity:(2 * !max_own) ())
     in
     let barrier = Barrier.create n in
+    (match sup with
+    | Some sv -> sv.sv_register_poison (fun e -> Barrier.poison barrier e)
+    | None -> ());
     let steals = Array.make n 0 in
+    let steal_lost = Array.make n 0 in
     let chunks_run = Array.make n 0 in
     let merges = Array.make n 0 in
     let tels = Array.init n (fun _ -> { spans = []; instants = [] }) in
@@ -508,18 +605,101 @@ let run ?domains ?chunk ?(force = false) (prog : Ast.program)
       in
       let try_steal da i =
         let k = da.da_slot.sl_chunk in
+        let lost_here = ref 0 in
+        (* A lost CAS means the element may still be there: retry the
+           same victim a few times before moving on. Chunks can never
+           be lost to contention — a chunk no thief takes is popped by
+           its home domain at its boundary. *)
+        let rec attempt victim tries =
+          let forced =
+            match sup with Some sv -> sv.sv_steal_veto ~dom:d | None -> false
+          in
+          let r =
+            if forced then Deque.Steal_lost
+            else Deque.steal_if (fun c -> c * k > i) deques.(victim)
+          in
+          match r with
+          | Deque.Stolen c ->
+            Hashtbl.replace da.da_pending c ();
+            steals.(d) <- steals.(d) + 1;
+            tel.instants <- ("steal", now_ns ()) :: tel.instants;
+            true
+          | Deque.Steal_empty -> false
+          | Deque.Steal_lost ->
+            incr lost_here;
+            steal_lost.(d) <- steal_lost.(d) + 1;
+            if tries < 4 then attempt victim (tries + 1) else false
+        in
         let rec go v =
           if v >= n then ()
-          else
-            let victim = (d + v) mod n in
-            match Deque.steal_if (fun c -> c * k > i) deques.(victim) with
-            | Some c ->
-              Hashtbl.replace da.da_pending c ();
-              steals.(d) <- steals.(d) + 1;
-              tel.instants <- ("steal", now_ns ()) :: tel.instants
-            | None -> go (v + 1)
+          else if attempt ((d + v) mod n) 0 then ()
+          else go (v + 1)
         in
-        go 1
+        go 1;
+        if !lost_here > 0 then
+          match sup with
+          | Some sv ->
+            sv.sv_event ~dom:d ~kind:"steal-lost"
+              ~detail:
+                (Printf.sprintf "%d lost steal attempt(s) at iteration %d"
+                   !lost_here i)
+          | None -> ()
+      in
+      (* Supervised chunk acquisition: each attempt may be crashed by
+         the fault plan; the chunk's work is discarded (its write log
+         is empty at the boundary) and the acquisition retried after a
+         deterministic backoff, up to the budget. *)
+      let sup_acquire da c acquire =
+        match sup with
+        | None -> acquire ()
+        | Some sv ->
+          let ck = chunk_ref_of da.da_slot c in
+          let rec go attempt =
+            if attempt > sv.sv_budget then begin
+              sv.sv_event ~dom:d ~kind:"retry-exhausted"
+                ~detail:
+                  (Printf.sprintf
+                     "chunk %d/%d of loop %d inv %d still failing after %d \
+                      attempts"
+                     ck.ck_chunk ck.ck_nchunks ck.ck_lid ck.ck_inv
+                     sv.sv_budget);
+              raise (Retry_exhausted ck)
+            end
+            else if sv.sv_on_chunk ~dom:d ~attempt ck then acquire ()
+            else begin
+              sv.sv_backoff ~attempt;
+              go (attempt + 1)
+            end
+          in
+          go 1
+      in
+      (* Chunk completed: digest its contribution so the merge can
+         verify it, then let the fault plan corrupt it in flight (the
+         corruption the verification exists to catch). *)
+      let complete_chunk da =
+        match sup with
+        | None -> ()
+        | Some sv ->
+          let slot = da.da_slot in
+          let c = (da.da_cur_hi - 1) / slot.sl_chunk in
+          let ck = chunk_ref_of slot c in
+          slot.sl_sums.(c) <- chunk_digest slot c;
+          slot.sl_done.(c) <- true;
+          sv.sv_chunk_done ~dom:d ck;
+          if sv.sv_corrupt_log ~dom:d ck then
+            if corrupt_chunk slot c then
+              sv.sv_event ~dom:d ~kind:"corrupt"
+                ~detail:
+                  (Printf.sprintf
+                     "flipped one byte of chunk %d of loop %d inv %d in the \
+                      shared log"
+                     c ck.ck_lid ck.ck_inv)
+            else
+              sv.sv_event ~dom:d ~kind:"corrupt-noop"
+                ~detail:
+                  (Printf.sprintf
+                     "chunk %d of loop %d inv %d recorded no bytes to corrupt"
+                     c ck.ck_lid ck.ck_inv)
       in
       st.Interp.Machine.observer <-
         Some
@@ -554,6 +734,11 @@ let run ?domains ?chunk ?(force = false) (prog : Ast.program)
       st.Interp.Machine.loop_hook <-
         Some
           (fun lid ev ->
+            (* the supervisor's cancel point: every domain passes here
+               on every loop event, so a watchdog abort is seen in
+               bounded time (straight-line code between loop events is
+               finite, and the interpreter's fuel bounds the rest) *)
+            (match sup with Some sv -> sv.sv_tick () | None -> ());
             if Hashtbl.mem pp.pp_decisions lid then
               match ev with
               | Interp.Machine.Enter -> (
@@ -603,6 +788,7 @@ let run ?domains ?chunk ?(force = false) (prog : Ast.program)
                   let slot = da.da_slot in
                   let k = slot.sl_chunk in
                   if da.da_cur_hi >= 0 && i >= da.da_cur_hi then begin
+                    complete_chunk da;
                     if da.da_chunk_t0 >= 0 then
                       tel.spans <-
                         ("chunk", "chunk", da.da_chunk_t0, now_ns ())
@@ -620,11 +806,11 @@ let run ?domains ?chunk ?(force = false) (prog : Ast.program)
                       in
                       if Hashtbl.mem da.da_pending c then begin
                         Hashtbl.remove da.da_pending c;
-                        acquire ()
+                        sup_acquire da c acquire
                       end
                       else if c mod n = d then begin
                         match Deque.pop deques.(d) with
-                        | Some c' when c' = c -> acquire ()
+                        | Some c' when c' = c -> sup_acquire da c acquire
                         | Some _ ->
                           raise
                             (Interp.Machine.Runtime_error
@@ -649,6 +835,12 @@ let run ?domains ?chunk ?(force = false) (prog : Ast.program)
                 | None -> ()
                 | Some da ->
                   if da.da_logging then finalize_iter da;
+                  (* normally closed by the trailing [Iter]; belt and
+                     braces for loops that exit another way *)
+                  if da.da_cur_hi >= 0 then begin
+                    complete_chunk da;
+                    da.da_cur_hi <- -1
+                  end;
                   let slot = da.da_slot in
                   (* publish induction deltas, then synchronize *)
                   Array.iteri
@@ -659,6 +851,36 @@ let run ?domains ?chunk ?(force = false) (prog : Ast.program)
                       slot.sl_deltas.(d).(j) <- Int64.sub cur da.da_pre.(j))
                     slot.sl_delta_addrs;
                   Barrier.wait barrier;
+                  (* Supervised runs verify every chunk before trusting
+                     the shared arrays: each must have been completed,
+                     and its bytes must still match the digest taken at
+                     completion. Domain 0 alone re-derives the digests
+                     (hashing every log on every domain would multiply
+                     the fault-free overhead): on a mismatch it raises,
+                     the attempt fails, and the supervisor's re-run
+                     rebuilds every machine from scratch — so the other
+                     domains replaying unverified bytes only ever
+                     pollute state the re-run discards. *)
+                  (match sup with
+                  | None -> ()
+                  | Some sv when d = 0 ->
+                    for c = 0 to slot.sl_nchunks - 1 do
+                      let ck = chunk_ref_of slot c in
+                      if not slot.sl_done.(c) then raise (Chunk_lost ck);
+                      if
+                        not
+                          (String.equal (chunk_digest slot c) slot.sl_sums.(c))
+                      then begin
+                        sv.sv_event ~dom:d ~kind:"corrupt-detected"
+                          ~detail:
+                            (Printf.sprintf
+                               "chunk %d of loop %d inv %d fails its \
+                                completion digest; discarding the run"
+                               c ck.ck_lid ck.ck_inv);
+                        raise (Log_corrupted ck)
+                      end
+                    done
+                  | Some _ -> ());
                   (* merge: replay all write logs in iteration order,
                      fold induction deltas, splice output fragments *)
                   let tm0 = now_ns () in
@@ -747,6 +969,8 @@ let run ?domains ?chunk ?(force = false) (prog : Ast.program)
         tels;
       Telemetry.Span.count "domexec.domains" n;
       Telemetry.Span.count "domexec.steals" (Array.fold_left ( + ) 0 steals);
+      Telemetry.Span.count "domexec.steal_lost"
+        (Array.fold_left ( + ) 0 steal_lost);
       Telemetry.Span.count "domexec.chunks"
         (Array.fold_left ( + ) 0 chunks_run);
       Telemetry.Span.count "domexec.merges" merges.(0)
@@ -773,6 +997,7 @@ let run ?domains ?chunk ?(force = false) (prog : Ast.program)
       dx_domains = n;
       dx_wall_ns = wall;
       dx_steals = Array.fold_left ( + ) 0 steals;
+      dx_steal_lost = Array.fold_left ( + ) 0 steal_lost;
       dx_chunks_run = chunks_run;
       dx_merges = merges.(0);
       dx_loops = loops;

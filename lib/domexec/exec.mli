@@ -48,12 +48,77 @@ type result = {
   dx_domains : int;  (** domains actually used *)
   dx_wall_ns : float;  (** spawn-to-join (run only; loading excluded) *)
   dx_steals : int;
+  dx_steal_lost : int;  (** steal CAS races lost (incl. injected) *)
   dx_chunks_run : int array;  (** chunks executed, per domain *)
   dx_merges : int;  (** distributed invocations merged *)
   dx_loops : loop_report list;
   dx_fallback : string option;  (** reason when the run was sequential *)
   dx_machine : Interp.Machine.t;
       (** domain 0's machine after the run, for contract checking *)
+}
+
+(** One chunk of one distributed-loop invocation — the executor's unit
+    of idempotent recovery. *)
+type chunk_ref = {
+  ck_lid : Ast.lid;
+  ck_inv : int;  (** invocation index of the loop *)
+  ck_chunk : int;
+  ck_nchunks : int;
+}
+
+(** Raised (on every domain) when the supervisor's watchdog cancels
+    the run: the poison pill that drains the barrier instead of
+    hanging. *)
+exception Supervised_abort of string
+
+(** A chunk's acquisition kept crashing past the retry budget. *)
+exception Retry_exhausted of chunk_ref
+
+(** Merge-time verification found a chunk whose write log / output
+    fragment no longer matches the digest recorded at completion. *)
+exception Log_corrupted of chunk_ref
+
+(** Merge-time verification found a chunk nobody executed (scheduler
+    invariant broken — never expected, checked anyway). *)
+exception Chunk_lost of chunk_ref
+
+(** Callbacks a supervisor installs into the executor. The executor
+    stays policy-free: it reports chunk lifecycle events and obeys
+    injected decisions; retry budgets, heartbeats, watchdogs and fault
+    plans live behind these functions (see [Supervisor]).
+
+    With [sup] absent the executor behaves exactly as before —
+    no digests, no verification, no per-chunk bookkeeping — so
+    unsupervised runs pay nothing. *)
+type supervision = {
+  sv_budget : int;
+      (** acquisition attempts allowed per chunk before
+          {!Retry_exhausted} *)
+  sv_on_chunk : dom:int -> attempt:int -> chunk_ref -> bool;
+      (** called before each acquisition attempt (stamps the
+          heartbeat). [false] simulates a crash of this attempt: the
+          chunk's work is discarded and the acquisition retried after
+          {!supervision.sv_backoff}. An injected stall blocks inside
+          this call until the watchdog aborts the run. *)
+  sv_backoff : attempt:int -> unit;
+      (** deterministic backoff between acquisition attempts *)
+  sv_chunk_done : dom:int -> chunk_ref -> unit;
+      (** chunk executed and digested; clears the heartbeat *)
+  sv_corrupt_log : dom:int -> chunk_ref -> bool;
+      (** [true] = corrupt this chunk's recorded write log (fault
+          injection); flips one byte after the digest is taken, so
+          merge-time verification must catch it *)
+  sv_steal_veto : dom:int -> bool;
+      (** [true] = force this steal attempt to report a lost CAS *)
+  sv_tick : unit -> unit;
+      (** called on every loop event of every domain: the cancel
+          point. Raises {!Supervised_abort} once the watchdog fired. *)
+  sv_register_poison : (exn -> unit) -> unit;
+      (** gives the supervisor a hook that poisons the run's barrier,
+          so a watchdog abort also frees domains blocked in a merge *)
+  sv_event : dom:int -> kind:string -> detail:string -> unit;
+      (** structured diagnostics only the executor can observe
+          (actual corruption, lost steals, retry exhaustion) *)
 }
 
 val decision_to_string : decision -> string
@@ -76,6 +141,7 @@ val run :
   ?domains:int ->
   ?chunk:int ->
   ?force:bool ->
+  ?sup:supervision ->
   Ast.program ->
   Expand.Plan.t ->
   Ast.lid list ->

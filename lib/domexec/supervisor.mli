@@ -1,0 +1,77 @@
+(** Supervised real-domain execution: crash isolation, chunk retry,
+    write-log verification, and a watchdog — the robustness layer the
+    simulated pipeline got from [Guard] and [Harness.Ladder], for
+    {!Exec}.
+
+    The supervisor treats each chunk of a distributed loop as an
+    idempotent unit: a chunk that fails at acquisition has written
+    nothing to the shared log arrays, so it is simply retried in place
+    after a deterministic backoff, up to a bounded budget. Failures
+    that can only be detected later — a write-log corrupted in flight
+    (caught by per-chunk digests before every merge replay), a
+    watchdog abort, or a real exception escaping a worker domain — are
+    recovered by re-running the whole attempt: the executor is
+    deterministic, machines are rebuilt from the program, and no
+    memory escapes a failed attempt, so a re-run is a faithful retry.
+
+    A stalled domain cannot hang the run: every chunk acquisition
+    stamps a per-domain heartbeat, a watchdog thread polls them, and a
+    heartbeat older than [watchdog_ms] aborts the attempt by setting a
+    poison pill every domain observes at its next loop event (and by
+    poisoning the merge barrier for domains blocked there).
+
+    Domain-level kinds of [Faultinject.Fault] ([Domain_crash],
+    [Domain_stall], [Writelog_corrupt], [Steal_contention]) are armed
+    here: the targeted chunk is a pure function of the seed, so runs
+    are reproducible. *)
+
+open Minic
+
+type outcome =
+  | Completed  (** first attempt, no recovery needed *)
+  | Recovered
+      (** output produced, but only after chunk retries, a watchdog
+          fire, or a full attempt re-run *)
+  | Aborted of string  (** all attempts failed; no trustworthy output *)
+
+type t = {
+  sup_result : Exec.result option;
+      (** the successful run, [None] when aborted *)
+  sup_outcome : outcome;
+  sup_attempts : int;  (** full executor runs, >= 1 *)
+  sup_retries : int;  (** in-place chunk acquisition retries *)
+  sup_crashes : int;  (** chunk-acquisition crashes (injected) *)
+  sup_stalls : int;  (** injected stalls *)
+  sup_corruptions : int;  (** write-log bytes actually corrupted *)
+  sup_corruptions_detected : int;  (** digest mismatches caught pre-merge *)
+  sup_watchdog_fires : int;
+  sup_steal_lost : int;  (** lost steal CASes in the final attempt *)
+  sup_events : Guard.Diag.sup_event list;  (** chronological *)
+}
+
+val outcome_to_string : outcome -> string
+
+(** One-line counter summary for logs and CI artifacts. *)
+val summary : t -> string
+
+(** Run [prog] under supervision. [domains]/[chunk]/[force] are passed
+    through to {!Exec.run}. [retry] (default 3) bounds both the
+    per-chunk acquisition budget and the number of full run attempts;
+    [watchdog_ms] (default 5000) is the per-chunk heartbeat deadline.
+    [fault] arms a domain-level fault kind; pipeline-level kinds are
+    ignored here.
+
+    Never hangs: every attempt is bounded by the watchdog, and
+    attempts are bounded by [retry]. Never raises on execution
+    failures — they become {!Aborted}. *)
+val run :
+  ?domains:int ->
+  ?chunk:int ->
+  ?force:bool ->
+  ?retry:int ->
+  ?watchdog_ms:int ->
+  ?fault:Faultinject.Fault.t ->
+  Ast.program ->
+  Expand.Plan.t ->
+  Ast.lid list ->
+  t

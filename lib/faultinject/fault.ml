@@ -24,6 +24,10 @@ type kind =
   | Force_misclassify
   | Truncate_span of int  (** bytes subtracted from every span *)
   | Alloc_failure of int  (** which allocation fails (1-based) *)
+  | Domain_crash of int  (** crash the chosen chunk's first n acquisitions *)
+  | Domain_stall of int  (** stall the chosen chunk n times (watchdog food) *)
+  | Writelog_corrupt of int  (** corrupt the chunk's write log n times *)
+  | Steal_contention of int  (** force the first n steal CASes to lose *)
 
 type t = { seed : int; kind : kind }
 
@@ -35,6 +39,25 @@ let describe (t : t) : string =
   | Force_misclassify -> Printf.sprintf "misclassify(seed=%d)" t.seed
   | Truncate_span k -> Printf.sprintf "truncate-span:%d(seed=%d)" k t.seed
   | Alloc_failure n -> Printf.sprintf "alloc-fail:%d(seed=%d)" n t.seed
+  | Domain_crash n -> Printf.sprintf "domain-crash:%d(seed=%d)" n t.seed
+  | Domain_stall n -> Printf.sprintf "domain-stall:%d(seed=%d)" n t.seed
+  | Writelog_corrupt n ->
+    Printf.sprintf "writelog-corrupt:%d(seed=%d)" n t.seed
+  | Steal_contention n ->
+    Printf.sprintf "steal-contention:%d(seed=%d)" n t.seed
+
+let domain_level (t : t) : bool =
+  match t.kind with
+  | Domain_crash _ | Domain_stall _ | Writelog_corrupt _ | Steal_contention _
+    -> true
+  | Drop_dep_edge | Force_misclassify | Truncate_span _ | Alloc_failure _ ->
+    false
+
+let fire_budget (t : t) : int =
+  match t.kind with
+  | Domain_crash n | Domain_stall n | Writelog_corrupt n
+  | Steal_contention n -> max 0 n
+  | Drop_dep_edge | Force_misclassify | Truncate_span _ | Alloc_failure _ -> 0
 
 (* SplitMix-style integer mixer: deterministic seeded index choice. *)
 let mix (seed : int) (bound : int) : int =
@@ -46,6 +69,13 @@ let mix (seed : int) (bound : int) : int =
     let z = Int64.logxor z (Int64.shift_right_logical z 31) in
     Int64.to_int (Int64.rem (Int64.logand z Int64.max_int) (Int64.of_int bound))
   end
+
+(* Which chunk of a distributed invocation the domain-level fault
+   targets. Pure in (seed, lid, inv, nchunks): every domain — and
+   every retry of the same run — agrees on the target regardless of
+   the (nondeterministic) steal schedule. *)
+let target_chunk (t : t) ~(lid : int) ~(inv : int) ~(nchunks : int) : int =
+  mix (t.seed lxor ((lid * 7919) + (inv * 104729))) nchunks
 
 type application = {
   analyses : Privatize.Analyze.result list;
@@ -220,6 +250,10 @@ let mangle (t : t) (prog : Ast.program)
     unchanged analyses (Printf.sprintf "spans truncated by %d bytes" k)
   | Alloc_failure n ->
     unchanged analyses (Printf.sprintf "allocation #%d will fail" n)
+  | Domain_crash _ | Domain_stall _ | Writelog_corrupt _ | Steal_contention _
+    ->
+    unchanged analyses
+      (Printf.sprintf "%s armed on the domain supervisor" (describe t))
 
 (** The [span_shrink] to pass to [Expand.Transform.expand_loops]. *)
 let span_shrink (t : t) : int option =
@@ -231,4 +265,5 @@ let attach_machine (t : t) (m : Interp.Machine.t) : unit =
   match t.kind with
   | Alloc_failure n ->
     Interp.Memory.set_alloc_fault m.Interp.Machine.st.Interp.Machine.mem n
-  | Drop_dep_edge | Force_misclassify | Truncate_span _ -> ()
+  | Drop_dep_edge | Force_misclassify | Truncate_span _ | Domain_crash _
+  | Domain_stall _ | Writelog_corrupt _ | Steal_contention _ -> ()

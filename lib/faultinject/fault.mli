@@ -13,11 +13,35 @@ type kind =
   | Force_misclassify  (** declare one shared access class private *)
   | Truncate_span of int  (** bytes subtracted from every span *)
   | Alloc_failure of int  (** which runtime allocation fails (1-based) *)
+  | Domain_crash of int
+      (** crash the chosen chunk's first [n] acquisition attempts
+          (domain-executor runs only; armed on the supervisor) *)
+  | Domain_stall of int
+      (** stall the chosen chunk [n] times until the watchdog fires *)
+  | Writelog_corrupt of int
+      (** corrupt the chosen chunk's write log in flight, [n] times *)
+  | Steal_contention of int
+      (** force the first [n] deque steal attempts to lose their CAS *)
 
 type t = { seed : int; kind : kind }
 
 val make : seed:int -> kind -> t
 val describe : t -> string
+
+(** Domain-executor faults are armed on [Domexec.Supervisor], not on
+    the simulation pipeline; {!mangle} leaves the analyses untouched
+    for them and {!attach_machine} is a no-op. *)
+val domain_level : t -> bool
+
+(** Deterministic chunk choice for domain-level faults: which chunk of
+    a distributed invocation (loop [lid], invocation [inv], [nchunks]
+    chunks) the fault targets. A pure function of the seed, so every
+    domain — and every retry — agrees on the target. *)
+val target_chunk : t -> lid:int -> inv:int -> nchunks:int -> int
+
+(** How many times the domain-level fault fires (the [n] payload);
+    0 for pipeline-level kinds. *)
+val fire_budget : t -> int
 
 (** Result of applying a fault to the analysis outputs. *)
 type application = {

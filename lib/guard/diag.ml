@@ -30,3 +30,21 @@ let of_analyses (analyses : Privatize.Analyze.result list) : t =
 
 let loop d aid = Hashtbl.find_opt d.loop_of aid
 let access_class d aid = Hashtbl.find_opt d.class_of aid
+
+type sup_event = {
+  se_attempt : int;
+  se_domain : int;
+  se_loop : Ast.lid;
+  se_chunk : int;
+  se_kind : string;
+  se_detail : string;
+}
+
+let sup_event_to_string (e : sup_event) : string =
+  let where =
+    if e.se_loop < 0 && e.se_chunk < 0 then ""
+    else Printf.sprintf " loop=%d chunk=%d" e.se_loop e.se_chunk
+  in
+  let who = if e.se_domain < 0 then "watchdog" else Printf.sprintf "dom%d" e.se_domain in
+  Printf.sprintf "supervisor[attempt %d] %s %s%s: %s" e.se_attempt who
+    e.se_kind where e.se_detail

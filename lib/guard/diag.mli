@@ -18,3 +18,20 @@ val loop : t -> Ast.aid -> Ast.lid option
 
 (** The members of [aid]'s access class, if it belongs to one. *)
 val access_class : t -> Ast.aid -> Ast.aid list option
+
+(** One structured event from the domain-execution supervisor: a chunk
+    crash, a retry, a watchdog fire, a detected write-log corruption.
+    [se_loop]/[se_chunk] are [-1] when the event is not tied to a
+    specific chunk (e.g. a whole-run abort). *)
+type sup_event = {
+  se_attempt : int;  (** 1-based supervised run attempt *)
+  se_domain : int;  (** domain index, [-1] for the watchdog itself *)
+  se_loop : Ast.lid;
+  se_chunk : int;
+  se_kind : string;
+      (** "crash" | "retry" | "retry-exhausted" | "stall" | "watchdog"
+          | "corrupt" | "steal-lost" | "abort" | "recovered" *)
+  se_detail : string;
+}
+
+val sup_event_to_string : sup_event -> string

@@ -24,9 +24,26 @@ let default_faults : Faultinject.Fault.t list =
     Faultinject.Fault.make ~seed:4 (Faultinject.Fault.Alloc_failure 2);
   ]
 
-let run_workload ?(threads = 2) ?(faults = default_faults)
-    (w : Workloads.Workload.t) : entry list =
+(** One domain-level fault of each kind, for the [`Domains] grid. *)
+let domain_faults : Faultinject.Fault.t list =
+  [
+    Faultinject.Fault.make ~seed:5 (Faultinject.Fault.Domain_crash 1);
+    Faultinject.Fault.make ~seed:6 (Faultinject.Fault.Domain_stall 1);
+    Faultinject.Fault.make ~seed:7 (Faultinject.Fault.Writelog_corrupt 1);
+    Faultinject.Fault.make ~seed:8 (Faultinject.Fault.Steal_contention 4);
+  ]
+
+let run_workload ?(threads = 2) ?faults ?(exec = `Sim) ?domains ?chunk ?force
+    ?retry ?watchdog_ms (w : Workloads.Workload.t) : entry list =
   Telemetry.Span.wall ~cat:"campaign" "campaign.workload" @@ fun () ->
+  let faults =
+    match faults with
+    | Some fs -> fs
+    | None -> (
+      match exec with
+      | `Sim -> default_faults
+      | `Domains -> default_faults @ domain_faults)
+  in
   let prog =
     Typecheck.parse_and_check ~file:w.Workloads.Workload.name
       w.Workloads.Workload.source
@@ -36,20 +53,27 @@ let run_workload ?(threads = 2) ?(faults = default_faults)
   (* one sequential oracle per workload, shared by every configuration *)
   let oracle = Guard.Contract.oracle_of prog analyses in
   let entry fault =
-    let analyses', note, changed, span_shrink, attach_extra =
+    let analyses', note, changed, span_shrink, attach_extra, dom_fault =
       match fault with
-      | None -> (analyses, "clean", false, None, None)
+      | None -> (analyses, "clean", false, None, None, None)
+      | Some f when Faultinject.Fault.domain_level f ->
+        (* domain-level faults leave the analyses alone; they are
+           armed on the supervisor of the [Domains] rung *)
+        let app = Faultinject.Fault.mangle f prog analyses in
+        (analyses, app.Faultinject.Fault.note, false, None, None, Some f)
       | Some f ->
         let app = Faultinject.Fault.mangle f prog analyses in
         ( app.Faultinject.Fault.analyses,
           app.Faultinject.Fault.note,
           app.Faultinject.Fault.verdicts_changed,
           Faultinject.Fault.span_shrink f,
-          Some (Faultinject.Fault.attach_machine f) )
+          Some (Faultinject.Fault.attach_machine f),
+          None )
     in
     let outcome =
       Ladder.run ~threads ~reference:analyses ~oracle ?span_shrink
-        ?attach_extra prog analyses'
+        ?attach_extra ~exec ?domains ?chunk ?force ?retry ?watchdog_ms
+        ?fault:dom_fault prog analyses'
     in
     {
       c_workload = w.Workloads.Workload.name;
@@ -70,17 +94,77 @@ let run_workload ?(threads = 2) ?(faults = default_faults)
   end;
   entries
 
-let run ?threads ?faults ?(workloads = Workloads.Registry.all) () :
-    entry list =
-  List.concat_map (run_workload ?threads ?faults) workloads
+let run ?threads ?faults ?exec ?domains ?chunk ?force ?retry ?watchdog_ms
+    ?(workloads = Workloads.Registry.all) () : entry list =
+  List.concat_map
+    (run_workload ?threads ?faults ?exec ?domains ?chunk ?force ?retry
+       ?watchdog_ms)
+    workloads
 
 (** The campaign's safety contract, per entry: the final output is
     bit-identical to the sequential oracle, and a fallen rung is
     always explained by a diagnostic. *)
 let entry_safe (e : entry) : bool =
   e.c_output_ok
-  && (e.c_outcome.Ladder.rung = Ladder.Static_expansion
+  && (e.c_outcome.Ladder.rung = Ladder.Domains
+     || e.c_outcome.Ladder.rung = Ladder.Static_expansion
      || e.c_outcome.Ladder.diagnostics <> [])
+
+(** JSON artifact of a campaign sweep (schema dsexpand-campaign/2:
+    adds the [domains] rung, domain-level faults, and per-entry
+    supervisor counters to the v1 table). *)
+let to_json (entries : entry list) : Telemetry.Json.t =
+  let open Telemetry.Json in
+  let entry_json (e : entry) =
+    let sup_json =
+      match e.c_outcome.Ladder.dom_sup with
+      | None -> Null
+      | Some s ->
+        Obj
+          [
+            ( "outcome",
+              Str
+                (Domexec.Supervisor.outcome_to_string
+                   s.Domexec.Supervisor.sup_outcome) );
+            ("attempts", Int s.Domexec.Supervisor.sup_attempts);
+            ("retries", Int s.Domexec.Supervisor.sup_retries);
+            ("crashes", Int s.Domexec.Supervisor.sup_crashes);
+            ("stalls", Int s.Domexec.Supervisor.sup_stalls);
+            ("corruptions", Int s.Domexec.Supervisor.sup_corruptions);
+            ( "corruptions_detected",
+              Int s.Domexec.Supervisor.sup_corruptions_detected );
+            ("watchdog_fires", Int s.Domexec.Supervisor.sup_watchdog_fires);
+            ("steal_lost", Int s.Domexec.Supervisor.sup_steal_lost);
+          ]
+    in
+    Obj
+      [
+        ("workload", Str e.c_workload);
+        ( "fault",
+          match e.c_fault with
+          | None -> Null
+          | Some f -> Str (Faultinject.Fault.describe f) );
+        ("note", Str e.c_note);
+        ("verdicts_changed", Bool e.c_verdicts_changed);
+        ("rung", Str (Ladder.rung_name e.c_outcome.Ladder.rung));
+        ("fell", Int (List.length e.c_outcome.Ladder.diagnostics));
+        ( "diagnostics",
+          List
+            (List.map
+               (fun d -> Str (Ladder.diagnostic_to_string d))
+               e.c_outcome.Ladder.diagnostics) );
+        ("output_ok", Bool e.c_output_ok);
+        ("safe", Bool (entry_safe e));
+        ("supervisor", sup_json);
+      ]
+  in
+  Obj
+    [
+      ("schema", Str "dsexpand-campaign/2");
+      ("runs", Int (List.length entries));
+      ("safe", Bool (List.for_all entry_safe entries));
+      ("entries", List (List.map entry_json entries));
+    ]
 
 let table (entries : entry list) : string =
   Report.Tables.ladder_table

@@ -15,15 +15,36 @@ type entry = {
 (** One fault of each kind, deterministically seeded. *)
 val default_faults : Faultinject.Fault.t list
 
+(** One domain-level fault of each kind (crash, stall, write-log
+    corruption, steal contention), deterministically seeded; swept in
+    addition to {!default_faults} when [exec] is [`Domains]. *)
+val domain_faults : Faultinject.Fault.t list
+
+(** [exec], [domains], [chunk], [force], [retry] and [watchdog_ms] are
+    forwarded to {!Ladder.run}; with [exec = `Domains] the default
+    fault grid grows by {!domain_faults} and every entry starts on the
+    supervised real-domain rung. *)
 val run_workload :
   ?threads:int ->
   ?faults:Faultinject.Fault.t list ->
+  ?exec:[ `Sim | `Domains ] ->
+  ?domains:int ->
+  ?chunk:int ->
+  ?force:bool ->
+  ?retry:int ->
+  ?watchdog_ms:int ->
   Workloads.Workload.t ->
   entry list
 
 val run :
   ?threads:int ->
   ?faults:Faultinject.Fault.t list ->
+  ?exec:[ `Sim | `Domains ] ->
+  ?domains:int ->
+  ?chunk:int ->
+  ?force:bool ->
+  ?retry:int ->
+  ?watchdog_ms:int ->
   ?workloads:Workloads.Workload.t list ->
   unit ->
   entry list
@@ -34,3 +55,6 @@ val entry_safe : entry -> bool
 
 (** Render entries via {!Report.Tables.ladder_table}. *)
 val table : entry list -> string
+
+(** JSON artifact of a sweep (schema [dsexpand-campaign/2]). *)
+val to_json : entry list -> Telemetry.Json.t

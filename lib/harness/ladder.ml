@@ -16,15 +16,22 @@
     + {b Sequential} — on further failure, the sequential oracle's
       result is used directly.
 
+    When real execution is requested ([exec = `Domains]) a rung sits
+    {e above} static expansion: the expanded program on real OCaml
+    domains under [Domexec.Supervisor]. It falls — to the very same
+    simulated chain — when supervision aborts (retry budget, watchdog)
+    or when the recovered state fails the contract check.
+
     Every step down records a structured diagnostic (which rung fell,
     why — including the guard's loop/access-class localization), so a
     degraded run is explainable, never silent. *)
 
 open Minic
 
-type rung = Static_expansion | Runtime_privatization | Sequential
+type rung = Domains | Static_expansion | Runtime_privatization | Sequential
 
 let rung_name = function
+  | Domains -> "domains"
   | Static_expansion -> "static-expansion"
   | Runtime_privatization -> "runtime-privatization"
   | Sequential -> "sequential"
@@ -38,6 +45,12 @@ type trigger =
       (** a span guard or contract check fired during/after the run *)
   | Run_failure of string  (** machine fault (OOM, memory fault, ...) *)
   | Output_mismatch  (** program output differed from the oracle *)
+  | Retry_exhausted of string
+      (** the supervisor's chunk-retry budget ran out *)
+  | Watchdog_timeout of string
+      (** a stalled domain forced the watchdog to cancel the run *)
+  | Recovery_mismatch of string
+      (** recovery produced state that fails the contract check *)
 
 let trigger_to_string = function
   | Unsupported_shape m -> "unsupported shape: " ^ m
@@ -45,6 +58,9 @@ let trigger_to_string = function
   | Guard_trip v -> "guard trip: " ^ Guard.Violation.to_string v
   | Run_failure m -> "run failure: " ^ m
   | Output_mismatch -> "output mismatch vs sequential oracle"
+  | Retry_exhausted m -> "retry budget exhausted: " ^ m
+  | Watchdog_timeout m -> "watchdog timeout: " ^ m
+  | Recovery_mismatch m -> "post-recovery contract mismatch: " ^ m
 
 type diagnostic = { fell_from : rung; trigger : trigger }
 
@@ -59,7 +75,9 @@ type outcome = {
   exit_code : int;
   par : Parexec.Sim.par_result option;
       (** the parallel result of the holding rung (None for
-          [Sequential]) *)
+          [Sequential] and [Domains]) *)
+  dom_sup : Domexec.Supervisor.t option;
+      (** the supervised run, whenever the [Domains] rung was tried *)
 }
 
 let int_t = Types.Tint Types.IInt
@@ -76,6 +94,7 @@ let rp_program (orig : Ast.program) : Ast.program =
   p
 
 let run ?(threads = 4) ?reference ?oracle ?span_shrink ?attach_extra
+    ?(exec = `Sim) ?domains ?chunk ?force ?retry ?watchdog_ms ?fault
     (orig : Ast.program) (analyses : Privatize.Analyze.result list) : outcome
     =
   let oracle =
@@ -121,50 +140,134 @@ let run ?(threads = 4) ?reference ?oracle ?span_shrink ?attach_extra
             then Error Output_mismatch
             else Ok pr)))
   in
-  let outcome =
+  (* The simulated chain (static expansion -> runtime privatization ->
+     sequential), entered either directly or as the fallback of the
+     real-domain rung; [diags0]/[dom_sup] carry what happened above. *)
+  let sim_chain (diags0 : diagnostic list)
+      (dom_sup : Domexec.Supervisor.t option) : outcome =
     match static_attempt () with
     | Ok pr ->
-    {
-      rung = Static_expansion;
-      diagnostics = [];
-      output = pr.Parexec.Sim.pr_output;
-      exit_code = pr.Parexec.Sim.pr_exit;
-      par = Some pr;
-    }
-  | Error trigger -> (
-    let diags = ref [ { fell_from = Static_expansion; trigger } ] in
-    (* Rung 1: the original program under runtime privatization. *)
-    let rp_attempt () =
-      let rp = Runtimepriv.Rp.config_of orig analyses in
-      match Parexec.Sim.run_parallel ~rp (rp_program orig) specs ~threads with
-      | exception Interp.Memory.Fault msg -> Error (Run_failure msg)
-      | exception Interp.Machine.Runtime_error msg -> Error (Run_failure msg)
-      | pr ->
-        if
-          pr.Parexec.Sim.pr_output <> oracle.Guard.Contract.o_output
-          || pr.Parexec.Sim.pr_exit <> oracle.Guard.Contract.o_exit
-        then Error Output_mismatch
-        else Ok pr
-    in
-    match rp_attempt () with
-    | Ok pr ->
       {
-        rung = Runtime_privatization;
-        diagnostics = !diags;
+        rung = Static_expansion;
+        diagnostics = diags0;
         output = pr.Parexec.Sim.pr_output;
         exit_code = pr.Parexec.Sim.pr_exit;
         par = Some pr;
+        dom_sup;
       }
-    | Error trigger ->
-      diags := !diags @ [ { fell_from = Runtime_privatization; trigger } ];
-      (* Rung 2: the sequential oracle itself. *)
-      {
-        rung = Sequential;
-        diagnostics = !diags;
-        output = oracle.Guard.Contract.o_output;
-        exit_code = oracle.Guard.Contract.o_exit;
-        par = None;
-      })
+    | Error trigger -> (
+      let diags = ref (diags0 @ [ { fell_from = Static_expansion; trigger } ]) in
+      (* Next rung: the original program under runtime privatization. *)
+      let rp_attempt () =
+        let rp = Runtimepriv.Rp.config_of orig analyses in
+        match Parexec.Sim.run_parallel ~rp (rp_program orig) specs ~threads with
+        | exception Interp.Memory.Fault msg -> Error (Run_failure msg)
+        | exception Interp.Machine.Runtime_error msg -> Error (Run_failure msg)
+        | pr ->
+          if
+            pr.Parexec.Sim.pr_output <> oracle.Guard.Contract.o_output
+            || pr.Parexec.Sim.pr_exit <> oracle.Guard.Contract.o_exit
+          then Error Output_mismatch
+          else Ok pr
+      in
+      match rp_attempt () with
+      | Ok pr ->
+        {
+          rung = Runtime_privatization;
+          diagnostics = !diags;
+          output = pr.Parexec.Sim.pr_output;
+          exit_code = pr.Parexec.Sim.pr_exit;
+          par = Some pr;
+          dom_sup;
+        }
+      | Error trigger ->
+        diags := !diags @ [ { fell_from = Runtime_privatization; trigger } ];
+        (* Last rung: the sequential oracle itself. *)
+        {
+          rung = Sequential;
+          diagnostics = !diags;
+          output = oracle.Guard.Contract.o_output;
+          exit_code = oracle.Guard.Contract.o_exit;
+          par = None;
+          dom_sup;
+        })
+  in
+  (* Top rung (only with [exec = `Domains]): the expanded program on
+     real domains under supervision, contract-checked after recovery. *)
+  let domains_attempt () =
+    match Expand.Transform.expand_loops ?span_shrink orig analyses with
+    | exception Expand.Transform.Unsupported msg ->
+      Error (Unsupported_shape msg, None)
+    | res -> (
+      let plan = res.Expand.Transform.plan in
+      match
+        Option.iter (fun r -> Guard.Contract.revalidate plan r) reference
+      with
+      | exception Guard.Violation.Violation v -> Error (Static_contract v, None)
+      | () -> (
+        let lids =
+          List.map
+            (fun (a : Privatize.Analyze.result) ->
+              a.Privatize.Analyze.classification.Privatize.Classify.graph
+                .Depgraph.Graph.loop)
+            analyses
+        in
+        let sup =
+          Domexec.Supervisor.run ?domains ?chunk ?force ?retry ?watchdog_ms
+            ?fault res.Expand.Transform.transformed plan lids
+        in
+        match sup.Domexec.Supervisor.sup_outcome with
+        | Domexec.Supervisor.Aborted reason ->
+          let trigger =
+            if sup.Domexec.Supervisor.sup_watchdog_fires > 0 then
+              Watchdog_timeout reason
+            else if sup.Domexec.Supervisor.sup_crashes > 0 then
+              Retry_exhausted reason
+            else Run_failure reason
+          in
+          Error (trigger, Some sup)
+        | Domexec.Supervisor.Completed | Domexec.Supervisor.Recovered -> (
+          let r = Option.get sup.Domexec.Supervisor.sup_result in
+          let recovered =
+            sup.Domexec.Supervisor.sup_outcome = Domexec.Supervisor.Recovered
+          in
+          match
+            Guard.Contract.check_finals oracle plan r.Domexec.Exec.dx_machine
+          with
+          | exception Guard.Violation.Violation v ->
+            let trigger =
+              if recovered then Recovery_mismatch (Guard.Violation.to_string v)
+              else Guard_trip v
+            in
+            Error (trigger, Some sup)
+          | () ->
+            if
+              r.Domexec.Exec.dx_output <> oracle.Guard.Contract.o_output
+              || r.Domexec.Exec.dx_exit <> oracle.Guard.Contract.o_exit
+            then
+              let trigger =
+                if recovered then
+                  Recovery_mismatch "output differs from the sequential oracle"
+                else Output_mismatch
+              in
+              Error (trigger, Some sup)
+            else Ok (r, sup))))
+  in
+  let outcome =
+    match exec with
+    | `Sim -> sim_chain [] None
+    | `Domains -> (
+      match domains_attempt () with
+      | Ok (r, sup) ->
+        {
+          rung = Domains;
+          diagnostics = [];
+          output = r.Domexec.Exec.dx_output;
+          exit_code = r.Domexec.Exec.dx_exit;
+          par = None;
+          dom_sup = Some sup;
+        }
+      | Error (trigger, sup) -> sim_chain [ { fell_from = Domains; trigger } ] sup)
   in
   if Telemetry.Sink.enabled () then begin
     Telemetry.Span.count "ladder.rungs_fallen"

@@ -1,10 +1,11 @@
-(** The graceful-degradation ladder: guarded static expansion, then
-    the runtime-privatization baseline, then sequential execution —
-    each step down recorded as a structured diagnostic. *)
+(** The graceful-degradation ladder: supervised real-domain execution
+    (when requested), then guarded static expansion in the simulator,
+    then the runtime-privatization baseline, then sequential execution
+    — each step down recorded as a structured diagnostic. *)
 
 open Minic
 
-type rung = Static_expansion | Runtime_privatization | Sequential
+type rung = Domains | Static_expansion | Runtime_privatization | Sequential
 
 val rung_name : rung -> string
 
@@ -17,6 +18,13 @@ type trigger =
       (** a span guard or contract check fired during/after the run *)
   | Run_failure of string  (** machine fault (OOM, memory fault, ...) *)
   | Output_mismatch  (** program output differed from the oracle *)
+  | Retry_exhausted of string
+      (** the supervisor's chunk-retry budget ran out *)
+  | Watchdog_timeout of string
+      (** a stalled domain forced the watchdog to cancel the run *)
+  | Recovery_mismatch of string
+      (** the supervisor recovered, but the recovered state fails the
+          contract check — recovery itself is not trusted *)
 
 val trigger_to_string : trigger -> string
 
@@ -31,20 +39,37 @@ type outcome = {
   exit_code : int;
   par : Parexec.Sim.par_result option;
       (** the parallel result of the holding rung (None for
-          [Sequential]) *)
+          [Sequential] and [Domains]) *)
+  dom_sup : Domexec.Supervisor.t option;
+      (** the supervised run, whenever the [Domains] rung was tried *)
 }
 
 (** Run [orig] (with its per-loop analyses, possibly fault-mangled)
     down the ladder. [reference] enables static revalidation against a
     trusted classification; [oracle] reuses a previously captured
     sequential oracle (otherwise one is captured here); [span_shrink]
-    and [attach_extra] thread fault injection into the static rung. *)
+    and [attach_extra] thread fault injection into the static rung.
+
+    [exec] selects the top rung: [`Sim] (default) starts at guarded
+    static expansion as before; [`Domains] first runs the expanded
+    program on real domains under [Domexec.Supervisor] —
+    [domains]/[chunk]/[force]/[retry]/[watchdog_ms] configure it and
+    [fault] arms a domain-level fault — and falls to the simulated
+    rungs when supervision aborts or the recovered state fails the
+    contract. *)
 val run :
   ?threads:int ->
   ?reference:Privatize.Analyze.result list ->
   ?oracle:Guard.Contract.oracle ->
   ?span_shrink:int ->
   ?attach_extra:(Interp.Machine.t -> unit) ->
+  ?exec:[ `Sim | `Domains ] ->
+  ?domains:int ->
+  ?chunk:int ->
+  ?force:bool ->
+  ?retry:int ->
+  ?watchdog_ms:int ->
+  ?fault:Faultinject.Fault.t ->
   Ast.program ->
   Privatize.Analyze.result list ->
   outcome

@@ -25,6 +25,15 @@ let show_ops ops =
   String.concat ""
     (List.map (function Push -> "u" | Pop -> "o" | Steal -> "s") ops)
 
+(* Single-threaded there is no contention, so a [Steal_lost] can only
+   come from the owner's own last-element pop racing itself — retrying
+   resolves it immediately. *)
+let rec steal_opt q =
+  match Domexec.Deque.steal q with
+  | Domexec.Deque.Stolen v -> Some v
+  | Domexec.Deque.Steal_empty -> None
+  | Domexec.Deque.Steal_lost -> steal_opt q
+
 (* Single-threaded, the deque must behave exactly like a two-ended
    list: push/pop at the bottom, steal at the top. No task is ever
    lost or duplicated. *)
@@ -60,12 +69,10 @@ let deque_model_law =
                 model := rest;
                 Some top
             in
-            if Domexec.Deque.steal q <> expect then ok := false)
+            if steal_opt q <> expect then ok := false)
         ops;
       (* drain: everything still in the model comes back, in order *)
-      List.iter
-        (fun v -> if Domexec.Deque.steal q <> Some v then ok := false)
-        !model;
+      List.iter (fun v -> if steal_opt q <> Some v then ok := false) !model;
       if Domexec.Deque.pop q <> None then ok := false;
       !ok)
 
@@ -77,14 +84,19 @@ let steal_if_law =
       List.iter (Domexec.Deque.push q) items;
       let pred v = v mod 2 = 0 in
       match (Domexec.Deque.steal_if pred q, items) with
-      | None, top :: _ -> not (pred top)
-      | Some v, top :: _ -> pred v && v = top
-      | None, [] -> true
-      | Some _, [] -> false)
+      | Domexec.Deque.Steal_empty, top :: _ -> not (pred top)
+      | Domexec.Deque.Stolen v, top :: _ -> pred v && v = top
+      | Domexec.Deque.Steal_empty, [] -> true
+      | Domexec.Deque.Stolen _, [] -> false
+      | Domexec.Deque.Steal_lost, _ -> false (* no contention here *))
 
-(* Owner pushes and pops at the bottom while two thief domains steal
-   from the top: every item is seen exactly once. *)
-let stress_no_lost_or_duplicated () =
+(* Owner pushes and pops at the bottom while [nthieves] thief domains
+   steal from the top: every item is seen exactly once, and a lost CAS
+   ([Steal_lost]) never loses the element itself — the thieves retry
+   and the drain below accounts for every item. With four thieves the
+   top-end CAS is under real contention, so [Steal_lost] is exercised,
+   not just represented. *)
+let stress_no_lost_or_duplicated ~nthieves () =
   let n_items = 20000 in
   let q = Domexec.Deque.create ~capacity:32768 () in
   let owner_done = Atomic.make false in
@@ -92,16 +104,17 @@ let stress_no_lost_or_duplicated () =
     let mine = ref [] in
     let rec go () =
       match Domexec.Deque.steal q with
-      | Some v ->
+      | Domexec.Deque.Stolen v ->
         mine := v :: !mine;
         go ()
-      | None ->
+      | Domexec.Deque.Steal_lost -> go () (* element may remain: retry *)
+      | Domexec.Deque.Steal_empty ->
         if Atomic.get owner_done && Domexec.Deque.is_empty q then !mine
         else go ()
     in
     go ()
   in
-  let thieves = Array.init 2 (fun _ -> Domain.spawn thief) in
+  let thieves = Array.init nthieves (fun _ -> Domain.spawn thief) in
   let owned = ref [] in
   (* push in bursts, pop a few back: exercises the bottom end against
      concurrent top-end steals, including the one-element race *)
@@ -358,8 +371,10 @@ let () =
         [
           QCheck_alcotest.to_alcotest deque_model_law;
           QCheck_alcotest.to_alcotest steal_if_law;
-          Alcotest.test_case "multi-domain stress" `Quick
-            stress_no_lost_or_duplicated;
+          Alcotest.test_case "2-thief stress" `Quick
+            (stress_no_lost_or_duplicated ~nthieves:2);
+          Alcotest.test_case "4-thief contention stress" `Quick
+            (stress_no_lost_or_duplicated ~nthieves:4);
         ] );
       ( "executor",
         [
