@@ -153,8 +153,22 @@ let wall_json (b : Harness.Bench_run.t) : Telemetry.Json.t =
              (wall_of b)) );
     ]
 
+(* Scheduler-health metrics from one traced run per domain count: the
+   analyzer's report (utilization, steal success, imbalance, GC share)
+   keyed by domain count, so CI trending can watch scheduler behavior
+   alongside the raw speedups. Traced runs are separate from the timed
+   wall samples — ring instrumentation never contaminates a timing. *)
+let sched_json (b : Harness.Bench_run.t) : Telemetry.Json.t =
+  Telemetry.Json.Obj
+    (List.map
+       (fun d ->
+         ( string_of_int d,
+           Domexec.Domtrace.Sched_report.to_json
+             (Harness.Bench_run.sched b ~domains:d) ))
+       wall_domains)
+
 (* Machine-readable results for CI trending; the schema is documented
-   in EXPERIMENTS.md ("dsexpand-bench/3"). *)
+   in EXPERIMENTS.md ("dsexpand-bench/4"). *)
 let results_json ~fast ~stages ~artifacts (benches : Harness.Bench_run.t list)
     : Telemetry.Json.t =
   let open Telemetry.Json in
@@ -176,6 +190,7 @@ let results_json ~fast ~stages ~artifacts (benches : Harness.Bench_run.t list)
             (fun ~threads -> Harness.Bench_run.total_speedup b ~threads)
             Harness.Bench_run.thread_counts );
         ("wall", wall_json b);
+        ("sched", sched_json b);
         ( "memory_multiple",
           at_threads
             (fun ~threads -> Harness.Bench_run.memory_multiple b ~threads)
@@ -184,7 +199,7 @@ let results_json ~fast ~stages ~artifacts (benches : Harness.Bench_run.t list)
   in
   Obj
     [
-      ("schema", Str "dsexpand-bench/3");
+      ("schema", Str "dsexpand-bench/4");
       ("fast", Bool fast);
       ("stages_ns", ns_obj stages);
       ("artifacts_ns", ns_obj artifacts);
@@ -200,7 +215,7 @@ let baseline_json (benches : Harness.Bench_run.t list) : Telemetry.Json.t =
   let open Telemetry.Json in
   Obj
     [
-      ("schema", Str "dsexpand-bench/3");
+      ("schema", Str "dsexpand-bench/4");
       ( "workloads",
         List
           (List.map
@@ -395,6 +410,61 @@ let supervisor_overhead_check (benches : Harness.Bench_run.t list) : int =
     benches;
   !regressions
 
+(* Ring instrumentation overhead: a domain run with a Domtrace recorder
+   attached may cost at most 5% (plus 2 ms of fixed slack, for
+   sub-millisecond loops) over an untraced run on the same domain
+   count. Part of --compare, so the always-available observability
+   path can never quietly become expensive. *)
+let domtrace_overhead_check (benches : Harness.Bench_run.t list) : int =
+  let repeats = 5 in
+  (* force:true — same rationale as the supervisor check: the parallel
+     scheduler path is what emits events, and it is correct on any
+     core count *)
+  let domains = 2 in
+  let regressions = ref 0 in
+  Printf.printf
+    "\n== domtrace ring overhead (domains=%d, limit +5%% / +2 ms) ==\n" domains;
+  List.iter
+    (fun (b : Harness.Bench_run.t) ->
+      let prog = b.Harness.Bench_run.expanded.Expand.Transform.transformed in
+      let plan = b.Harness.Bench_run.expanded.Expand.Transform.plan in
+      let lids = b.Harness.Bench_run.lids in
+      let raw_run () =
+        (Domexec.Exec.run ~domains ~force:true prog plan lids)
+          .Domexec.Exec.dx_wall_ns
+      in
+      let traced_run () =
+        let tr = Domexec.Domtrace.create () in
+        (Domexec.Exec.run ~domains ~force:true ~trace:tr prog plan lids)
+          .Domexec.Exec.dx_wall_ns
+      in
+      (* Paired deltas, not independent minima: this check runs at the
+         end of a long process whose heap state drifts and whose host
+         sees multi-second noise bursts, so the two configurations'
+         minima can come from different machines, effectively. Two
+         back-to-back runs share host state, so the per-pair delta
+         cancels the drift; the min over pairs is the least-disturbed
+         estimate of what tracing itself costs. Compact before each
+         pair so neither member pays the previous pair's GC debt. *)
+      let raw = ref infinity and delta = ref infinity in
+      for _ = 1 to repeats do
+        Gc.compact ();
+        let r = raw_run () in
+        let t = traced_run () in
+        raw := Float.min !raw r;
+        delta := Float.min !delta (t -. r)
+      done;
+      let raw = !raw and delta = !delta in
+      let limit = (raw *. 0.05) +. 2e6 in
+      let worse = delta > limit in
+      if worse then incr regressions;
+      Printf.printf "%-16s raw %8.2f ms, tracing delta %+8.2f ms  %+6.1f%%%s\n"
+        (bench_name b) (raw /. 1e6) (delta /. 1e6)
+        (delta /. raw *. 100.)
+        (if worse then "  REGRESSION" else ""))
+    benches;
+  !regressions
+
 let () =
   let argv = Array.to_list Sys.argv in
   let fast = List.mem "--fast" argv in
@@ -411,9 +481,12 @@ let () =
   (match arg_of "--compare" argv with
   | Some file ->
     let benches = List.map Harness.Bench_run.load (workloads_for ()) in
-    let regressions =
-      compare_against ~file benches + supervisor_overhead_check benches
-    in
+    (* explicit lets: OCaml evaluates [+] right-to-left, which would
+       print the report sections in reverse *)
+    let cycles_reg = compare_against ~file benches in
+    let sup_reg = supervisor_overhead_check benches in
+    let ring_reg = domtrace_overhead_check benches in
+    let regressions = cycles_reg + sup_reg + ring_reg in
     if regressions > 0 then begin
       Printf.printf "%d metric(s) regressed beyond tolerance\n" regressions;
       exit 1

@@ -216,6 +216,37 @@ let chunk_arg =
           "With --exec domains: iterations per scheduler chunk (default \
            trip / (4 * domains)).")
 
+let domain_trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "domain-trace" ] ~docv:"FILE"
+        ~doc:
+          "With --exec domains: record per-domain scheduler events (chunk \
+           claim/start/finish, steals, retries, backoff, GC samples) into \
+           lock-free rings and write the merged Chrome trace_event JSON to \
+           FILE — one pseudo-process per domain, one ring set per \
+           supervised attempt. Deterministic under a fixed --seed when the \
+           schedule is race-free.")
+
+let sched_report_arg =
+  Arg.(
+    value & flag
+    & info [ "sched-report" ]
+        ~doc:
+          "With --exec domains: print the scheduler-health report (schema \
+           dsexpand-domtrace/1) — per-domain busy/claim/steal/backoff/idle \
+           utilization, steal success rate, load-imbalance coefficient, \
+           straggler identification, and GC share, computed from the same \
+           event rings as --domain-trace.")
+
+let sched_format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("table", `Table); ("json", `Json) ]) `Table
+    & info [ "sched-format" ] ~docv:"FMT"
+        ~doc:"Format of the --sched-report: $(b,table) or $(b,json).")
+
 let heatmap_arg =
   Arg.(
     value
@@ -509,8 +540,37 @@ let domain_fault_of ~seed fault_spec =
     end
     else None
 
+(* Emit the --domain-trace / --sched-report artifacts from the ring
+   recorder once the supervised run is over — including abort paths,
+   where the failed attempts are the interesting part of the trace. *)
+let emit_domtrace ~file ~domain_trace ~sched_report ~sched_format dtrace =
+  match dtrace with
+  | None -> ()
+  | Some tr ->
+    (match domain_trace with
+    | Some path ->
+      Domexec.Domtrace.write_chrome tr path;
+      Printf.printf "domain trace -> %s (%d attempt(s), %d events, %d drops)\n"
+        path
+        (Domexec.Domtrace.attempt_count tr)
+        (Domexec.Domtrace.total_events tr)
+        (Domexec.Domtrace.total_drops tr)
+    | None -> ());
+    if sched_report then begin
+      let rep = Domexec.Domtrace.Sched_report.analyze tr in
+      match sched_format with
+      | `Json ->
+        print_endline
+          (Telemetry.Json.to_string
+             (Domexec.Domtrace.Sched_report.to_json
+                ~extra:[ ("workload", Telemetry.Json.Str file) ]
+                rep))
+      | `Table -> print_string (Domexec.Domtrace.Sched_report.to_table rep)
+    end
+
 let run_ladder ~threads ~seed ~exec_mode ~domains ~chunk ~retry ~watchdog_ms
-    prog analyses fault_spec =
+    ~file ~dtrace ~domain_trace ~sched_report ~sched_format prog analyses
+    fault_spec =
   let threads = if threads > 1 then threads else 2 in
   let oracle = Guard.Contract.oracle_of prog analyses in
   let dom_fault =
@@ -534,8 +594,9 @@ let run_ladder ~threads ~seed ~exec_mode ~domains ~chunk ~retry ~watchdog_ms
   let o =
     Harness.Ladder.run ~threads ~reference:analyses ~oracle ?span_shrink
       ?attach_extra ~exec:exec_mode ?domains ?chunk ~force ~retry ~watchdog_ms
-      ?fault:dom_fault prog analyses'
+      ?fault:dom_fault ?trace:dtrace prog analyses'
   in
+  emit_domtrace ~file ~domain_trace ~sched_report ~sched_format dtrace;
   List.iter
     (fun d -> print_endline (Harness.Ladder.diagnostic_to_string d))
     o.Harness.Ladder.diagnostics;
@@ -579,7 +640,8 @@ let run_ladder ~threads ~seed ~exec_mode ~domains ~chunk ~retry ~watchdog_ms
     run is validated: output and exit code against the original, final
     global state via the privatization contract. *)
 let run_domains ~domains ~chunk ~retry ~watchdog_ms ~seed ~fault_spec ~file
-    prog (res : Expand.Transform.result) (lids : Minic.Ast.lid list) : unit =
+    ~dtrace ~domain_trace ~sched_report ~sched_format prog
+    (res : Expand.Transform.result) (lids : Minic.Ast.lid list) : unit =
   let plan = res.Expand.Transform.plan in
   let oracle = Guard.Contract.oracle_of prog [] in
   let m0 = Interp.Machine.load prog in
@@ -592,8 +654,9 @@ let run_domains ~domains ~chunk ~retry ~watchdog_ms ~seed ~fault_spec ~file
   let fault = domain_fault_of ~seed fault_spec in
   let sup =
     Domexec.Supervisor.run ?domains ?chunk ~force ~retry ~watchdog_ms ?fault
-      res.Expand.Transform.transformed plan lids
+      ?trace:dtrace res.Expand.Transform.transformed plan lids
   in
+  emit_domtrace ~file ~domain_trace ~sched_report ~sched_format dtrace;
   let finish code =
     Printf.eprintf "dsexpand: exec=domains outcome=%s\n" (outcome_word code);
     if code <> 0 then exit code
@@ -649,8 +712,15 @@ let run_domains ~domains ~chunk ~retry ~watchdog_ms ~seed ~fault_spec ~file
 let run input workload dump_deps report check threads no_opt unselective
     guard ladder fault seed campaign campaign_json trace metrics
     metrics_format explain explain_format heatmap exec_mode domains chunk
-    retry watchdog_ms =
+    retry watchdog_ms domain_trace sched_report sched_format =
   setup_telemetry ~trace ~metrics ~metrics_format;
+  (* The ring recorder behind --domain-trace / --sched-report; absent
+     (zero-cost in the executor) unless one of them asked for it. *)
+  let dtrace =
+    if exec_mode = `Domains && (domain_trace <> None || sched_report) then
+      Some (Domexec.Domtrace.create ())
+    else None
+  in
   if campaign then begin
     let entries =
       Harness.Campaign.run
@@ -688,7 +758,8 @@ let run input workload dump_deps report check threads no_opt unselective
   let analyses = List.map (Privatize.Analyze.analyze prog) lids in
   if ladder then
     run_ladder ~threads ~seed ~exec_mode ~domains ~chunk ~retry ~watchdog_ms
-      prog analyses fault
+      ~file ~dtrace ~domain_trace ~sched_report ~sched_format prog analyses
+      fault
   else if dump_deps then
     List.iter
       (fun (a : Privatize.Analyze.result) ->
@@ -751,7 +822,7 @@ let run input workload dump_deps report check threads no_opt unselective
     Option.iter (write_heatmap ~threads ~file analyses res) heatmap;
     if exec_mode = `Domains then
       run_domains ~domains ~chunk ~retry ~watchdog_ms ~seed ~fault_spec:fault
-        ~file prog res lids
+        ~file ~dtrace ~domain_trace ~sched_report ~sched_format prog res lids
     else if check then begin
       let code0, out0 = Interp.Machine.run_program prog in
       let m = Interp.Machine.load res.Expand.Transform.transformed in
@@ -828,6 +899,7 @@ let cmd =
       $ ladder_arg $ fault_arg $ seed_arg $ campaign_arg $ campaign_json_arg
       $ trace_arg $ metrics_arg $ metrics_format_arg $ explain_arg
       $ explain_format_arg $ heatmap_arg $ exec_arg $ domains_arg $ chunk_arg
-      $ retry_arg $ watchdog_ms_arg)
+      $ retry_arg $ watchdog_ms_arg $ domain_trace_arg $ sched_report_arg
+      $ sched_format_arg)
 
 let () = exit (Cmd.eval cmd)

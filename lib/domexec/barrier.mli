@@ -1,0 +1,42 @@
+(** Reusable (cyclic) barrier with poisoning, used by the domain
+    executor at every distributed-loop merge point.
+
+    The phase counter plays the role of the classic sense-reversal
+    flag, generalized from a boolean to an integer: an arriving
+    domain captures the current phase [ph], and a waiter may leave
+    only once [phase <> ph] — i.e. the generation it arrived in has
+    been retired by the last arriver (who resets the waiting count,
+    advances the phase, and broadcasts, all under the one mutex).
+    Because a domain can only observe [phase = ph + 1] after {e all}
+    [parties] arrivals of generation [ph], a fast domain re-entering
+    [wait] for the next loop invocation captures [ph + 1] and cannot
+    slip through the old generation — the reuse hazard sense-reversal
+    exists to prevent. Invariant: [0 <= waiting < parties], and
+    [phase] increments exactly once per completed generation.
+
+    Poisoning breaks the all-parties contract deliberately: a domain
+    that fails with an exception cannot arrive, so instead it marks
+    the barrier, which releases every current and future waiter with
+    {!Poisoned} rather than deadlocking the run. A poisoned barrier
+    never recovers. *)
+
+type t
+
+(** Raised to every waiter of a poisoned barrier; carries the
+    original failure. *)
+exception Poisoned of exn
+
+(** [create parties] makes a barrier for [parties] domains; it can be
+    reused for any number of generations. *)
+val create : int -> t
+
+(** Block until all [parties] domains have arrived in the current
+    generation (the last arriver does not block), then return.
+    @raise Poisoned if the barrier is or becomes poisoned. *)
+val wait : t -> unit
+
+(** [poison b e] permanently breaks the barrier, releasing all
+    current and future waiters with [Poisoned e]. First poisoner
+    wins; later calls keep the original exception. Safe to call from
+    any domain or thread, including the watchdog. *)
+val poison : t -> exn -> unit

@@ -1,0 +1,526 @@
+(** See the interface. The recorder is a list of attempts, each a
+    per-domain ring array; rings are drained exactly once (events are
+    cached on the attempt) so the Chrome merge and the analyzer can
+    both run over the same recording. *)
+
+type attempt = {
+  at_rings : Ring.t array;
+  mutable at_events : Ring.event list array option;
+      (** drained lazily, cached — [Ring.drain] consumes *)
+}
+
+type t = {
+  dt_capacity : int;
+  dt_gc : bool;
+  mutable dt_attempts : attempt list;  (** newest first *)
+}
+
+let create ?(capacity = Ring.default_capacity) ?(gc = true) () =
+  { dt_capacity = capacity; dt_gc = gc; dt_attempts = [] }
+
+let gc_sampling t = t.dt_gc
+let capacity t = t.dt_capacity
+
+let begin_attempt t ~domains =
+  let rings =
+    Array.init domains (fun d -> Ring.create ~capacity:t.dt_capacity ~dom:d ())
+  in
+  t.dt_attempts <- { at_rings = rings; at_events = None } :: t.dt_attempts;
+  rings
+
+let attempts_rev t = t.dt_attempts
+let attempts t = List.rev_map (fun a -> a.at_rings) t.dt_attempts
+let attempt_count t = List.length t.dt_attempts
+
+let events_of (a : attempt) : Ring.event list array =
+  match a.at_events with
+  | Some evs -> evs
+  | None ->
+    let evs = Array.map Ring.drain a.at_rings in
+    a.at_events <- Some evs;
+    evs
+
+let fold_rings t f init =
+  List.fold_left
+    (fun acc a -> Array.fold_left f acc a.at_rings)
+    init (attempts_rev t)
+
+let total_events t = fold_rings t (fun acc r -> acc + Ring.written r) 0
+let total_drops t = fold_rings t (fun acc r -> acc + Ring.drops r) 0
+
+(* ------------------------------------------------------------------ *)
+(* Chrome merge                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let span_of_event lid ~(k : Ring.kind) ~chunk =
+  match k with
+  | Ring.Chunk_claim -> Printf.sprintf "claim L%d#%d" lid chunk
+  | Ring.Chunk_start -> Printf.sprintf "chunk L%d#%d" lid chunk
+  | Ring.Merge_begin -> Printf.sprintf "merge L%d" lid
+  | _ -> assert false
+
+(* Each domain replays onto its own logical tick line: one tick per
+   ring event, in ring order, persisting across attempts, so the
+   exported timestamps depend only on the event sequence. Spans are
+   kept perfectly nested by this replayer itself — the generic
+   exporter never has to repair anything, so B/E counts balance. *)
+let to_chrome t : Telemetry.Chrome_trace.t =
+  let c = Telemetry.Chrome_trace.create () in
+  let sk = Telemetry.Chrome_trace.sink c in
+  let doms =
+    List.fold_left
+      (fun m a -> max m (Array.length a.at_rings))
+      0 (attempts_rev t)
+  in
+  let ticks = Array.make (max doms 1) 0 in
+  let stacks = Array.make (max doms 1) [] in
+  let emit_b d name ts =
+    stacks.(d) <- name :: stacks.(d);
+    sk.Telemetry.Sink.emit
+      (Telemetry.Event.Span_begin
+         {
+           name;
+           cat = "domexec";
+           clock = Telemetry.Event.Sim;
+           tid = Telemetry.Chrome_trace.domain_tid_base + d;
+           ts;
+         })
+  in
+  let emit_e d ts =
+    match stacks.(d) with
+    | [] -> ()
+    | name :: rest ->
+      stacks.(d) <- rest;
+      sk.Telemetry.Sink.emit
+        (Telemetry.Event.Span_end
+           {
+             name;
+             clock = Telemetry.Event.Sim;
+             tid = Telemetry.Chrome_trace.domain_tid_base + d;
+             ts;
+           })
+  in
+  let emit_i d name ts =
+    sk.Telemetry.Sink.emit
+      (Telemetry.Event.Instant
+         {
+           name;
+           cat = "sched";
+           clock = Telemetry.Event.Sim;
+           tid = Telemetry.Chrome_trace.domain_tid_base + d;
+           ts;
+         })
+  in
+  let close_if d prefix ts =
+    match stacks.(d) with
+    | name :: _
+      when String.length name >= String.length prefix
+           && String.sub name 0 (String.length prefix) = prefix ->
+      emit_e d ts
+    | _ -> ()
+  in
+  List.iter
+    (fun a ->
+      let evs = events_of a in
+      Array.iteri
+        (fun d events ->
+          List.iter
+            (fun (e : Ring.event) ->
+              let ts = ticks.(d) in
+              ticks.(d) <- ts + 1;
+              match e.Ring.ev_kind with
+              | Ring.Run_begin ->
+                emit_b d (Printf.sprintf "attempt-%d" e.ev_c) ts
+              | Ring.Run_end ->
+                (* close everything this attempt left open, the
+                   attempt span last *)
+                while stacks.(d) <> [] do
+                  emit_e d ts
+                done
+              | Ring.Chunk_claim ->
+                close_if d "claim " ts;
+                emit_b d (span_of_event e.ev_a ~k:e.ev_kind ~chunk:e.ev_c) ts
+              | Ring.Chunk_start ->
+                close_if d "claim " ts;
+                emit_b d (span_of_event e.ev_a ~k:e.ev_kind ~chunk:e.ev_c) ts
+              | Ring.Chunk_finish -> close_if d "chunk " ts
+              | Ring.Merge_begin ->
+                emit_b d (span_of_event e.ev_a ~k:e.ev_kind ~chunk:0) ts
+              | Ring.Merge_end -> close_if d "merge " ts
+              | ( Ring.Steal_stolen | Ring.Steal_empty | Ring.Steal_lost
+                | Ring.Retry | Ring.Backoff | Ring.Heartbeat | Ring.Poison
+                | Ring.Gc_sample ) as k ->
+                emit_i d (Ring.kind_name k) ts)
+            events;
+          (* a crashed attempt can end without Run_end *)
+          while stacks.(d) <> [] do
+            emit_e d ticks.(d)
+          done)
+        evs)
+    (List.rev t.dt_attempts);
+  c
+
+let write_chrome t path = Telemetry.Chrome_trace.write (to_chrome t) path
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler-health analyzer                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Sched_report = struct
+  type dom_row = {
+    dr_dom : int;
+    dr_run_ns : int;
+    dr_busy_ns : int;
+    dr_claim_ns : int;
+    dr_steal_ns : int;
+    dr_backoff_ns : int;
+    dr_merge_ns : int;
+    dr_idle_ns : int;
+    dr_chunks : int;
+    dr_stolen : int;
+    dr_steal_empty : int;
+    dr_steal_lost : int;
+    dr_retries : int;
+    dr_poisoned : bool;
+    dr_gc_minor : int;
+    dr_gc_major : int;
+    dr_gc_minor_words : int;
+    dr_gc_dirty_chunks : int;
+    dr_drops : int;
+  }
+
+  type report = {
+    sr_domains : dom_row array;
+    sr_attempts : int;
+    sr_capacity : int;
+    sr_events : int;
+    sr_drops : int;
+    sr_steal_attempts : int;
+    sr_steal_success : float option;
+    sr_imbalance : float;
+    sr_straggler : int option;
+    sr_gc_share : float;
+    sr_warnings : string list;
+  }
+
+  let warn_ratio = 1.5
+  let warn_floor_ns = 50_000_000
+
+  let utilization (r : dom_row) =
+    if r.dr_run_ns <= 0 then 0.0
+    else float_of_int r.dr_busy_ns /. float_of_int r.dr_run_ns
+
+  (* mutable accumulator while walking one domain's event stream *)
+  type acc = {
+    mutable run_ns : int;
+    mutable busy_ns : int;
+    mutable claim_ns : int;
+    mutable steal_ns : int;
+    mutable backoff_ns : int;
+    mutable merge_ns : int;
+    mutable chunks : int;
+    mutable stolen : int;
+    mutable steal_empty : int;
+    mutable steal_lost : int;
+    mutable retries : int;
+    mutable poisoned : bool;
+    mutable gc_minor : int;
+    mutable gc_major : int;
+    mutable gc_minor_words : int;
+    mutable gc_dirty : int;
+    mutable drops : int;
+  }
+
+  let fresh_acc () =
+    {
+      run_ns = 0; busy_ns = 0; claim_ns = 0; steal_ns = 0; backoff_ns = 0;
+      merge_ns = 0; chunks = 0; stolen = 0; steal_empty = 0; steal_lost = 0;
+      retries = 0; poisoned = false; gc_minor = 0; gc_major = 0;
+      gc_minor_words = 0; gc_dirty = 0; drops = 0;
+    }
+
+  (* Walk one attempt's event stream for one domain. Open intervals at
+     stream end (a stalled claim, a run that never reached Run_end)
+     close at the domain's last event timestamp, which is what makes
+     an injected stall's claim gap measurable: the poison observation
+     that unwinds the domain is its last event. *)
+  let feed (a : acc) (events : Ring.event list) =
+    let run_open = ref None in
+    let claim_open = ref None in
+    let busy_open = ref None in
+    let merge_open = ref None in
+    let last_ts = ref 0 in
+    let close_claim ts =
+      match !claim_open with
+      | Some t0 ->
+        a.claim_ns <- a.claim_ns + max 0 (ts - t0);
+        claim_open := None
+      | None -> ()
+    in
+    let close_busy ts =
+      match !busy_open with
+      | Some t0 ->
+        a.busy_ns <- a.busy_ns + max 0 (ts - t0);
+        busy_open := None
+      | None -> ()
+    in
+    let close_merge ts =
+      match !merge_open with
+      | Some t0 ->
+        a.merge_ns <- a.merge_ns + max 0 (ts - t0);
+        merge_open := None
+      | None -> ()
+    in
+    List.iter
+      (fun (e : Ring.event) ->
+        let ts = e.Ring.ev_ts in
+        last_ts := max !last_ts ts;
+        match e.ev_kind with
+        | Ring.Run_begin -> run_open := Some ts
+        | Ring.Run_end -> (
+          match !run_open with
+          | Some t0 ->
+            a.run_ns <- a.run_ns + max 0 (ts - t0);
+            run_open := None
+          | None -> ())
+        | Ring.Chunk_claim -> claim_open := Some ts
+        | Ring.Chunk_start ->
+          close_claim ts;
+          busy_open := Some ts
+        | Ring.Chunk_finish ->
+          close_busy ts;
+          a.chunks <- a.chunks + 1
+        | Ring.Steal_stolen ->
+          a.stolen <- a.stolen + 1;
+          a.steal_ns <- a.steal_ns + max 0 e.ev_c
+        | Ring.Steal_empty ->
+          a.steal_empty <- a.steal_empty + 1;
+          a.steal_ns <- a.steal_ns + max 0 e.ev_c
+        | Ring.Steal_lost ->
+          a.steal_lost <- a.steal_lost + 1;
+          a.steal_ns <- a.steal_ns + max 0 e.ev_c
+        | Ring.Retry -> a.retries <- a.retries + 1
+        | Ring.Backoff -> a.backoff_ns <- a.backoff_ns + max 0 e.ev_c
+        | Ring.Heartbeat -> ()
+        | Ring.Poison -> a.poisoned <- true
+        | Ring.Gc_sample ->
+          a.gc_minor <- a.gc_minor + max 0 e.ev_a;
+          a.gc_major <- a.gc_major + max 0 e.ev_b;
+          a.gc_minor_words <- a.gc_minor_words + max 0 e.ev_c;
+          if e.ev_a > 0 || e.ev_b > 0 then a.gc_dirty <- a.gc_dirty + 1
+        | Ring.Merge_begin -> merge_open := Some ts
+        | Ring.Merge_end -> close_merge ts)
+      events;
+    close_claim !last_ts;
+    close_busy !last_ts;
+    close_merge !last_ts;
+    match !run_open with
+    | Some t0 -> a.run_ns <- a.run_ns + max 0 (!last_ts - t0)
+    | None -> ()
+
+  let analyze (t : t) : report =
+    let doms =
+      List.fold_left
+        (fun m a -> max m (Array.length a.at_rings))
+        0 (attempts_rev t)
+    in
+    let accs = Array.init (max doms 1) (fun _ -> fresh_acc ()) in
+    List.iter
+      (fun at ->
+        let evs = events_of at in
+        Array.iteri
+          (fun d events ->
+            feed accs.(d) events;
+            accs.(d).drops <- accs.(d).drops + Ring.drops at.at_rings.(d))
+          evs)
+      (List.rev t.dt_attempts);
+    let rows =
+      Array.mapi
+        (fun d (a : acc) ->
+          let accounted =
+            a.busy_ns + a.claim_ns + a.steal_ns + a.backoff_ns + a.merge_ns
+          in
+          {
+            dr_dom = d;
+            dr_run_ns = a.run_ns;
+            dr_busy_ns = a.busy_ns;
+            dr_claim_ns = a.claim_ns;
+            dr_steal_ns = a.steal_ns;
+            dr_backoff_ns = a.backoff_ns;
+            dr_merge_ns = a.merge_ns;
+            dr_idle_ns = max 0 (a.run_ns - accounted);
+            dr_chunks = a.chunks;
+            dr_stolen = a.stolen;
+            dr_steal_empty = a.steal_empty;
+            dr_steal_lost = a.steal_lost;
+            dr_retries = a.retries;
+            dr_poisoned = a.poisoned;
+            dr_gc_minor = a.gc_minor;
+            dr_gc_major = a.gc_major;
+            dr_gc_minor_words = a.gc_minor_words;
+            dr_gc_dirty_chunks = a.gc_dirty;
+            dr_drops = a.drops;
+          })
+        (if doms = 0 then [||] else accs)
+    in
+    let n = Array.length rows in
+    let work r = r.dr_busy_ns + r.dr_claim_ns in
+    let total_work = Array.fold_left (fun s r -> s + work r) 0 rows in
+    let mean_work = if n = 0 then 0.0 else float_of_int total_work /. float_of_int n in
+    let max_work = Array.fold_left (fun m r -> max m (work r)) 0 rows in
+    let imbalance =
+      if mean_work <= 0.0 then 1.0 else float_of_int max_work /. mean_work
+    in
+    let leader =
+      Array.fold_left
+        (fun best r -> match best with
+          | Some b when work b >= work r -> best
+          | _ -> Some r)
+        None rows
+    in
+    let straggler =
+      match leader with
+      | Some r
+        when n > 1
+             && imbalance > warn_ratio
+             && float_of_int (work r) -. mean_work > float_of_int warn_floor_ns
+        -> Some r.dr_dom
+      | _ -> None
+    in
+    let steal_attempts =
+      Array.fold_left
+        (fun s r -> s + r.dr_stolen + r.dr_steal_empty + r.dr_steal_lost)
+        0 rows
+    in
+    let steal_success =
+      if steal_attempts = 0 then None
+      else
+        Some
+          (float_of_int (Array.fold_left (fun s r -> s + r.dr_stolen) 0 rows)
+          /. float_of_int steal_attempts)
+    in
+    let chunks = Array.fold_left (fun s r -> s + r.dr_chunks) 0 rows in
+    let dirty = Array.fold_left (fun s r -> s + r.dr_gc_dirty_chunks) 0 rows in
+    let gc_share =
+      if chunks = 0 then 0.0 else float_of_int dirty /. float_of_int chunks
+    in
+    let drops = total_drops t in
+    let warnings =
+      (match straggler with
+      | Some d ->
+        [
+          Printf.sprintf
+            "domain %d is a straggler: %.2fx the mean busy+claim time" d
+            imbalance;
+        ]
+      | None -> [])
+      @
+      if drops > 0 then
+        [
+          Printf.sprintf
+            "%d ring event(s) dropped (capacity %d); utilization numbers \
+             undercount — raise the ring capacity"
+            drops t.dt_capacity;
+        ]
+      else []
+    in
+    {
+      sr_domains = rows;
+      sr_attempts = attempt_count t;
+      sr_capacity = t.dt_capacity;
+      sr_events = total_events t;
+      sr_drops = drops;
+      sr_steal_attempts = steal_attempts;
+      sr_steal_success = steal_success;
+      sr_imbalance = imbalance;
+      sr_straggler = straggler;
+      sr_gc_share = gc_share;
+      sr_warnings = warnings;
+    }
+
+  let to_json ?(extra = []) (r : report) : Telemetry.Json.t =
+    let module J = Telemetry.Json in
+    let row (d : dom_row) =
+      J.Obj
+        [
+          ("domain", J.Int d.dr_dom);
+          ("run_ns", J.Int d.dr_run_ns);
+          ("busy_ns", J.Int d.dr_busy_ns);
+          ("claim_ns", J.Int d.dr_claim_ns);
+          ("steal_ns", J.Int d.dr_steal_ns);
+          ("backoff_ns", J.Int d.dr_backoff_ns);
+          ("merge_ns", J.Int d.dr_merge_ns);
+          ("idle_ns", J.Int d.dr_idle_ns);
+          ("utilization", J.Float (utilization d));
+          ("chunks", J.Int d.dr_chunks);
+          ("stolen", J.Int d.dr_stolen);
+          ("steal_empty", J.Int d.dr_steal_empty);
+          ("steal_lost", J.Int d.dr_steal_lost);
+          ("retries", J.Int d.dr_retries);
+          ("poisoned", J.Bool d.dr_poisoned);
+          ("gc_minor", J.Int d.dr_gc_minor);
+          ("gc_major", J.Int d.dr_gc_major);
+          ("gc_minor_words", J.Int d.dr_gc_minor_words);
+          ("gc_dirty_chunks", J.Int d.dr_gc_dirty_chunks);
+          ("drops", J.Int d.dr_drops);
+        ]
+    in
+    J.Obj
+      (("schema", J.Str "dsexpand-domtrace/1")
+       :: extra
+      @ [
+          ("attempts", J.Int r.sr_attempts);
+          ("ring_capacity", J.Int r.sr_capacity);
+          ("events", J.Int r.sr_events);
+          ("drops", J.Int r.sr_drops);
+          ("steal_attempts", J.Int r.sr_steal_attempts);
+          ( "steal_success",
+            match r.sr_steal_success with
+            | Some s -> J.Float s
+            | None -> J.Null );
+          ("imbalance", J.Float r.sr_imbalance);
+          ( "straggler",
+            match r.sr_straggler with Some d -> J.Int d | None -> J.Null );
+          ("gc_share", J.Float r.sr_gc_share);
+          ("warnings", J.List (List.map (fun w -> J.Str w) r.sr_warnings));
+          ("domains", J.List (Array.to_list (Array.map row r.sr_domains)));
+        ])
+
+  let to_table (r : report) : string =
+    let b = Buffer.create 1024 in
+    let ms ns = float_of_int ns /. 1e6 in
+    Buffer.add_string b
+      (Printf.sprintf "%-6s %9s %9s %9s %9s %9s %9s %9s %5s %6s %6s %6s %6s %5s\n"
+         "dom" "run-ms" "busy-ms" "claim-ms" "steal-ms" "bkoff-ms" "merge-ms"
+         "idle-ms" "util" "chunks" "stolen" "empty" "gc-min" "drops");
+    Array.iter
+      (fun d ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "%-6d %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f %4.0f%% %6d %6d \
+              %6d %6d %5d%s\n"
+             d.dr_dom (ms d.dr_run_ns) (ms d.dr_busy_ns) (ms d.dr_claim_ns)
+             (ms d.dr_steal_ns) (ms d.dr_backoff_ns) (ms d.dr_merge_ns)
+             (ms d.dr_idle_ns)
+             (100.0 *. utilization d)
+             d.dr_chunks d.dr_stolen d.dr_steal_empty d.dr_gc_minor d.dr_drops
+             (if d.dr_poisoned then "  [poisoned]" else "")))
+      r.sr_domains;
+    Buffer.add_string b
+      (Printf.sprintf
+         "attempts=%d events=%d drops=%d steal-attempts=%d steal-success=%s \
+          imbalance=%.2f straggler=%s gc-share=%.2f\n"
+         r.sr_attempts r.sr_events r.sr_drops r.sr_steal_attempts
+         (match r.sr_steal_success with
+         | Some s -> Printf.sprintf "%.2f" s
+         | None -> "n/a")
+         r.sr_imbalance
+         (match r.sr_straggler with
+         | Some d -> Printf.sprintf "domain-%d" d
+         | None -> "none")
+         r.sr_gc_share);
+    List.iter
+      (fun w -> Buffer.add_string b (Printf.sprintf "warning: %s\n" w))
+      r.sr_warnings;
+    Buffer.contents b
+end

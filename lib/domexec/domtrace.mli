@@ -1,0 +1,131 @@
+(** Domain-level scheduler tracing: a recorder handed to {!Exec.run}
+    (directly or through {!Supervisor.run}), which fills one {!Ring}
+    per domain per attempt, plus the two consumers the rings exist
+    for — a merged Chrome trace and a scheduler-health analyzer.
+
+    The recorder outlives executor attempts on purpose: a supervised
+    re-run appends a fresh set of rings, so the trace of a failed
+    attempt (the interesting one) survives into the report, and a
+    stalled domain's open chunk claim is visible next to the clean
+    re-run that recovered from it.
+
+    Merge determinism: {!to_chrome} re-times every event onto a
+    per-domain logical tick line (one tick per event, in ring order)
+    — no host-clock reading reaches the file — so two runs whose
+    domains record the same event sequences export byte-identical
+    traces. Scheduling races (who wins a steal) can of course differ
+    between runs; under a race-free schedule, and in particular under
+    a fixed [--seed] fault plan on a single-chunk loop, traces are
+    byte-identical. The {!Sched_report} analyzer keeps the real
+    nanosecond timestamps: utilization numbers measure the host, the
+    trace's shape does not. *)
+
+type t
+
+(** [create ()] makes an empty recorder. [capacity] sizes each
+    per-domain ring ({!Ring.default_capacity} by default); [gc]
+    (default true) samples [Gc.quick_stat] deltas at chunk
+    boundaries (turn off for byte-identical trace comparisons — GC
+    scheduling is cross-domain and not deterministic). *)
+val create : ?capacity:int -> ?gc:bool -> unit -> t
+
+val gc_sampling : t -> bool
+
+(** Called by {!Exec.run} once per parallel attempt: allocates one
+    ring per domain and returns them, writer [d] = domain [d]. *)
+val begin_attempt : t -> domains:int -> Ring.t array
+
+(** Attempts recorded so far, chronological; each is the per-domain
+    ring array of one {!Exec.run}. *)
+val attempts : t -> Ring.t array list
+
+val attempt_count : t -> int
+val capacity : t -> int
+
+(** Totals over every ring of every attempt. *)
+val total_events : t -> int
+
+val total_drops : t -> int
+
+(** Merge the rings into a Chrome trace collector: one pseudo-process
+    per domain (reusing {!Telemetry.Chrome_trace}'s domain pid
+    mapping), each attempt wrapped in an ["attempt-k"] span, chunk
+    claim/execution/merge as nested spans, steals/retries/backoff/
+    heartbeats/GC samples as instants. B/E pairs are balanced by
+    construction. *)
+val to_chrome : t -> Telemetry.Chrome_trace.t
+
+(** [to_chrome] rendered and written to [path] (one JSON object plus
+    newline, like [--trace]). *)
+val write_chrome : t -> string -> unit
+
+(** The scheduler-health analyzer: where each domain's wall time went
+    (chunk execution, claim gaps — injected stalls land here — steal
+    probing, supervision backoff, merge replay, idle), steal success,
+    load imbalance, straggler identification and GC activity. *)
+module Sched_report : sig
+  type dom_row = {
+    dr_dom : int;
+    dr_run_ns : int;  (** spawn-to-return, summed over attempts *)
+    dr_busy_ns : int;  (** executing chunk iterations *)
+    dr_claim_ns : int;
+        (** chunk-claim to chunk-start gaps; an injected stall or a
+            crash/retry storm shows up here *)
+    dr_steal_ns : int;  (** probing other domains' deques *)
+    dr_backoff_ns : int;  (** supervised acquisition backoff sleeps *)
+    dr_merge_ns : int;  (** merge replay at loop exit *)
+    dr_idle_ns : int;
+        (** the rest: replicated loops, straight-line code, barrier
+            waits *)
+    dr_chunks : int;  (** chunks executed to completion *)
+    dr_stolen : int;
+    dr_steal_empty : int;
+    dr_steal_lost : int;
+    dr_retries : int;
+    dr_poisoned : bool;  (** observed an abort/poison pill *)
+    dr_gc_minor : int;  (** minor collections at chunk boundaries *)
+    dr_gc_major : int;
+    dr_gc_minor_words : int;
+    dr_gc_dirty_chunks : int;  (** chunk boundaries with GC activity *)
+    dr_drops : int;  (** ring overflow drops for this domain *)
+  }
+
+  type report = {
+    sr_domains : dom_row array;
+    sr_attempts : int;
+    sr_capacity : int;
+    sr_events : int;
+    sr_drops : int;
+    sr_steal_attempts : int;
+    sr_steal_success : float option;  (** None when no attempts *)
+    sr_imbalance : float;
+        (** load-imbalance coefficient: max/mean over per-domain
+            (busy + claim) time; 1.0 = perfectly balanced *)
+    sr_straggler : int option;
+        (** the dominating domain, only when both warning thresholds
+            are exceeded *)
+    sr_gc_share : float;
+        (** fraction of chunk boundaries that saw GC activity *)
+    sr_warnings : string list;
+  }
+
+  (** A straggler is flagged when the imbalance coefficient exceeds
+      [warn_ratio] {e and} the leader's excess over the mean exceeds
+      [warn_floor_ns] (so microsecond-scale noise on tiny loops never
+      trips the warning). *)
+  val warn_ratio : float
+
+  val warn_floor_ns : int
+
+  (** Busy fraction of the domain's run time (0 when unmeasured). *)
+  val utilization : dom_row -> float
+
+  val analyze : t -> report
+
+  (** Schema [dsexpand-domtrace/1]; [extra] fields (workload, domain
+      count, ...) are prepended to the object. *)
+  val to_json :
+    ?extra:(string * Telemetry.Json.t) list -> report -> Telemetry.Json.t
+
+  val to_table : report -> string
+end

@@ -500,7 +500,7 @@ let chunk_size ~override ~trip ~domains =
   | Some k -> max 1 k
   | None -> max 1 (ceil_div trip (4 * domains))
 
-let run ?domains ?chunk ?(force = false) ?sup (prog : Ast.program)
+let run ?domains ?chunk ?(force = false) ?sup ?trace (prog : Ast.program)
     (plan : Expand.Plan.t) (lids : Ast.lid list) : result =
   let requested =
     match domains with Some n -> max 1 n | None -> available_domains ()
@@ -584,12 +584,54 @@ let run ?domains ?chunk ?(force = false) ?sup (prog : Ast.program)
         Interp.Machine.set_global_int m.Interp.Machine.st
           Expand.Names.nthreads n)
       machines;
+    (* One event ring per domain per attempt; the recorder outlives
+       this run, so a supervised retry appends a fresh set and the
+       failed attempt's trace survives into the report. *)
+    let rings, attempt_idx =
+      match trace with
+      | Some tr ->
+        let rs = Domtrace.begin_attempt tr ~domains:n in
+        (Some rs, Domtrace.attempt_count tr - 1)
+      | None -> (None, 0)
+    in
+    let gc_on =
+      match trace with Some tr -> Domtrace.gc_sampling tr | None -> false
+    in
     let t0 = Unix.gettimeofday () in
     let now_ns () = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
     let body d =
       let m = machines.(d) in
       let st = m.Interp.Machine.st in
       let tel = tels.(d) in
+      (* Ring emission: a handful of int stores into this domain's
+         preallocated ring, nothing when tracing is off. *)
+      let remit k ~a ~b ~c =
+        match rings with
+        | Some rs -> Ring.emit rs.(d) k ~ts:(now_ns ()) ~a ~b ~c
+        | None -> ()
+      in
+      let gmin = ref 0 and gmaj = ref 0 and gwords = ref 0.0 in
+      let gc_reset () =
+        if gc_on then begin
+          let q = Gc.quick_stat () in
+          gmin := q.Gc.minor_collections;
+          gmaj := q.Gc.major_collections;
+          gwords := q.Gc.minor_words
+        end
+      in
+      (* [Gc.quick_stat] delta since the previous chunk boundary. *)
+      let gc_sample () =
+        if gc_on then begin
+          let q = Gc.quick_stat () in
+          remit Ring.Gc_sample
+            ~a:(q.Gc.minor_collections - !gmin)
+            ~b:(q.Gc.major_collections - !gmaj)
+            ~c:(int_of_float (q.Gc.minor_words -. !gwords));
+          gmin := q.Gc.minor_collections;
+          gmaj := q.Gc.major_collections;
+          gwords := q.Gc.minor_words
+        end
+      in
       let inv_count : (Ast.lid, int) Hashtbl.t = Hashtbl.create 8 in
       let active : dom_active option ref = ref None in
       let finalize_iter da =
@@ -611,6 +653,7 @@ let run ?domains ?chunk ?(force = false) ?sup (prog : Ast.program)
            be lost to contention — a chunk no thief takes is popped by
            its home domain at its boundary. *)
         let rec attempt victim tries =
+          let s0 = now_ns () in
           let forced =
             match sup with Some sv -> sv.sv_steal_veto ~dom:d | None -> false
           in
@@ -623,11 +666,15 @@ let run ?domains ?chunk ?(force = false) ?sup (prog : Ast.program)
             Hashtbl.replace da.da_pending c ();
             steals.(d) <- steals.(d) + 1;
             tel.instants <- ("steal", now_ns ()) :: tel.instants;
+            remit Ring.Steal_stolen ~a:victim ~b:c ~c:(now_ns () - s0);
             true
-          | Deque.Steal_empty -> false
+          | Deque.Steal_empty ->
+            remit Ring.Steal_empty ~a:victim ~b:(-1) ~c:(now_ns () - s0);
+            false
           | Deque.Steal_lost ->
             incr lost_here;
             steal_lost.(d) <- steal_lost.(d) + 1;
+            remit Ring.Steal_lost ~a:victim ~b:(-1) ~c:(now_ns () - s0);
             if tries < 4 then attempt victim (tries + 1) else false
         in
         let rec go v =
@@ -650,10 +697,15 @@ let run ?domains ?chunk ?(force = false) ?sup (prog : Ast.program)
          is empty at the boundary) and the acquisition retried after a
          deterministic backoff, up to the budget. *)
       let sup_acquire da c acquire =
+        let ck = chunk_ref_of da.da_slot c in
+        remit Ring.Chunk_claim ~a:ck.ck_lid ~b:ck.ck_inv ~c:ck.ck_chunk;
+        let acquire () =
+          remit Ring.Chunk_start ~a:ck.ck_lid ~b:ck.ck_inv ~c:ck.ck_chunk;
+          acquire ()
+        in
         match sup with
         | None -> acquire ()
         | Some sv ->
-          let ck = chunk_ref_of da.da_slot c in
           let rec go attempt =
             if attempt > sv.sv_budget then begin
               sv.sv_event ~dom:d ~kind:"retry-exhausted"
@@ -665,10 +717,20 @@ let run ?domains ?chunk ?(force = false) ?sup (prog : Ast.program)
                      sv.sv_budget);
               raise (Retry_exhausted ck)
             end
-            else if sv.sv_on_chunk ~dom:d ~attempt ck then acquire ()
             else begin
-              sv.sv_backoff ~attempt;
-              go (attempt + 1)
+              if attempt > 1 then
+                remit Ring.Retry ~a:ck.ck_lid ~b:ck.ck_chunk ~c:attempt;
+              (* the stall fault blocks inside [sv_on_chunk], so this
+                 heartbeat is the last event before a stalled domain
+                 goes quiet — the analyzer's claim gap starts here *)
+              remit Ring.Heartbeat ~a:ck.ck_lid ~b:ck.ck_chunk ~c:attempt;
+              if sv.sv_on_chunk ~dom:d ~attempt ck then acquire ()
+              else begin
+                let b0 = now_ns () in
+                sv.sv_backoff ~attempt;
+                remit Ring.Backoff ~a:attempt ~b:0 ~c:(now_ns () - b0);
+                go (attempt + 1)
+              end
             end
           in
           go 1
@@ -677,6 +739,10 @@ let run ?domains ?chunk ?(force = false) ?sup (prog : Ast.program)
          verify it, then let the fault plan corrupt it in flight (the
          corruption the verification exists to catch). *)
       let complete_chunk da =
+        (let slot = da.da_slot in
+         let c = (da.da_cur_hi - 1) / slot.sl_chunk in
+         remit Ring.Chunk_finish ~a:(fst slot.sl_key) ~b:(snd slot.sl_key) ~c;
+         gc_sample ());
         match sup with
         | None -> ()
         | Some sv ->
@@ -884,6 +950,8 @@ let run ?domains ?chunk ?(force = false) ?sup (prog : Ast.program)
                   (* merge: replay all write logs in iteration order,
                      fold induction deltas, splice output fragments *)
                   let tm0 = now_ns () in
+                  remit Ring.Merge_begin ~a:(fst slot.sl_key)
+                    ~b:(snd slot.sl_key) ~c:0;
                   for i = 0 to slot.sl_trip - 1 do
                     match slot.sl_logs.(i) with
                     | Some log -> apply_log st.Interp.Machine.mem log
@@ -905,18 +973,30 @@ let run ?domains ?chunk ?(force = false) ?sup (prog : Ast.program)
                       | None -> ())
                     slot.sl_outs;
                   merges.(d) <- merges.(d) + 1;
+                  remit Ring.Merge_end ~a:(fst slot.sl_key) ~b:(snd slot.sl_key)
+                    ~c:0;
                   tel.spans <- ("merge", "merge", tm0, now_ns ()) :: tel.spans;
                   Interp.Machine.set_global_int st Expand.Names.tid 0;
                   active := None));
       let tr0 = now_ns () in
       tel.instants <- ("spawn", tr0) :: tel.instants;
+      remit Ring.Run_begin ~a:d ~b:n ~c:attempt_idx;
+      gc_reset ();
       let code = Interp.Machine.run m in
       tel.spans <- ("run", "domain", tr0, now_ns ()) :: tel.spans;
+      remit Ring.Run_end ~a:d ~b:0 ~c:0;
       code
     in
     let guarded d () =
       try Ok (body d)
       with e ->
+        (match rings with
+        | Some rs ->
+          (* the poison-pill (or any failure) observation: the last
+             event of an aborted domain, which closes its open claim
+             for the analyzer *)
+          Ring.emit rs.(d) Ring.Poison ~ts:(now_ns ()) ~a:d ~b:0 ~c:0
+        | None -> ());
         Barrier.poison barrier e;
         Error e
     in

@@ -134,6 +134,14 @@ val available_domains : unit -> int
     chunk size (trip count / (4 × domains)). [lids] are the analyzed
     parallel-loop candidates; [plan] supplies access verdicts.
 
+    [trace] attaches a {!Domtrace} recorder: the run allocates one
+    event {!Ring} per domain ({!Domtrace.begin_attempt}) and emits
+    scheduler events — chunk claim/start/finish, typed steal results,
+    retry/backoff/heartbeat, poison observation, GC deltas at chunk
+    boundaries — into the owning domain's ring. With [trace] absent
+    every emission site is a no-op; the sequential-fallback path
+    records nothing.
+
     The caller is expected to validate [dx_output]/[dx_exit] and
     [dx_machine]'s final globals against a sequential oracle
     (e.g. {!Guard.Contract}). *)
@@ -142,6 +150,7 @@ val run :
   ?chunk:int ->
   ?force:bool ->
   ?sup:supervision ->
+  ?trace:Domtrace.t ->
   Ast.program ->
   Expand.Plan.t ->
   Ast.lid list ->

@@ -1,0 +1,77 @@
+(** Fixed-capacity SPSC event ring, one per domain.
+
+    The owning domain is the only writer; the merge side (domain 0,
+    after [Domain.join]) is the only reader. Writes never block and
+    never allocate: an event is five unboxed ints copied into a
+    preallocated flat array, so tracing stays off the scheduler's
+    critical path. When the ring is full the {e oldest} event is
+    dropped (and counted) rather than stalling the writer — a trace
+    with a truncated head and an honest drop counter beats a slow run.
+
+    Concurrent draining is also safe (single reader racing the single
+    writer): the reader claims the tail slot by CAS, so an event the
+    writer is overwriting during an overflow is discarded, never
+    observed torn. The post-join drain path needs none of this — the
+    join is a full synchronization point — but the stress tests
+    exercise the live-reader discipline. *)
+
+type kind =
+  | Run_begin  (** a=domain, b=domain count, c=attempt index *)
+  | Run_end  (** a=domain *)
+  | Chunk_claim  (** a=lid, b=invocation, c=chunk *)
+  | Chunk_start  (** a=lid, b=invocation, c=chunk *)
+  | Chunk_finish  (** a=lid, b=invocation, c=chunk *)
+  | Steal_stolen  (** a=victim, b=chunk, c=elapsed ns *)
+  | Steal_empty  (** a=victim, b=-1, c=elapsed ns *)
+  | Steal_lost  (** a=victim, b=-1, c=elapsed ns *)
+  | Retry  (** a=lid, b=chunk, c=acquisition attempt *)
+  | Backoff  (** a=acquisition attempt, b=0, c=slept ns *)
+  | Heartbeat  (** a=lid, b=chunk, c=acquisition attempt *)
+  | Poison  (** poison-pill / abort observed while unwinding *)
+  | Gc_sample
+      (** quick_stat delta at a chunk boundary: a=minor collections,
+          b=major collections, c=minor words allocated *)
+  | Merge_begin  (** a=lid, b=invocation *)
+  | Merge_end  (** a=lid, b=invocation *)
+
+val kind_name : kind -> string
+
+type event = {
+  ev_kind : kind;
+  ev_ts : int;  (** ns since the run's t0 *)
+  ev_a : int;
+  ev_b : int;
+  ev_c : int;
+}
+
+type t
+
+val default_capacity : int
+
+(** [create ~dom ()] preallocates a ring of [capacity] slots (rounded
+    up to a power of two; default {!default_capacity}) owned by domain
+    [dom]. *)
+val create : ?capacity:int -> dom:int -> unit -> t
+
+val dom : t -> int
+
+(** The actual (rounded) capacity. *)
+val capacity : t -> int
+
+(** Write one event. Writer-only; never blocks, never allocates. *)
+val emit : t -> kind -> ts:int -> a:int -> b:int -> c:int -> unit
+
+(** Total events ever written (drops included). *)
+val written : t -> int
+
+(** Events overwritten before being read. *)
+val drops : t -> int
+
+(** Events currently buffered. *)
+val length : t -> int
+
+(** Consume the oldest event. Reader-only. *)
+val read : t -> event option
+
+(** Consume everything currently buffered, oldest first. *)
+val drain : t -> event list

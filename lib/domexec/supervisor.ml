@@ -35,6 +35,7 @@ type t = {
   sup_watchdog_fires : int;
   sup_steal_lost : int;
   sup_events : Guard.Diag.sup_event list;
+  sup_counters : Telemetry.Counters.snapshot;
 }
 
 let outcome_to_string = function
@@ -51,20 +52,27 @@ let summary (t : t) : string =
     t.sup_corruptions_detected t.sup_corruptions t.sup_watchdog_fires
     t.sup_steal_lost
 
+(* All supervisor statistics live in one [Telemetry.Counters]
+   aggregator (keys below), guarded by the state mutex — the [t]
+   record fields, campaign entries, and [--metrics] all read from this
+   single source of truth. Fault budgets are the same counters: an
+   injected crash/stall is consumed by bumping its stat, so budget and
+   stat cannot drift apart (corruption is the exception: attempts that
+   found nothing to corrupt still consume budget, hence the separate
+   [corrupt_attempts] key). *)
+let k_retries = "supervisor.retries"
+let k_crashes = "supervisor.crashes"
+let k_stalls = "supervisor.stalls"
+let k_corruptions = "supervisor.corruptions"
+let k_corruptions_detected = "supervisor.corruptions_detected"
+let k_watchdog = "supervisor.watchdog_fires"
+let k_corrupt_attempts = "supervisor.corrupt_attempts"
+
 type state = {
   mu : Mutex.t;
   mutable attempt : int;
   mutable events : Guard.Diag.sup_event list;  (** newest first *)
-  mutable retries : int;
-  mutable crashes : int;
-  mutable stalls : int;
-  mutable corruptions : int;
-  mutable corruptions_detected : int;
-  mutable watchdog_fires : int;
-  (* cumulative fault-budget consumption, across attempts *)
-  mutable crash_used : int;
-  mutable stall_used : int;
-  mutable corrupt_used : int;
+  agg : Telemetry.Counters.t;
   steal_used : int Atomic.t;
 }
 
@@ -82,10 +90,26 @@ let record st ~domain ~loop ~chunk ~kind ~detail =
     :: st.events;
   Mutex.unlock st.mu
 
-let bump st f =
+let bump st key =
   Mutex.lock st.mu;
-  f st;
+  Telemetry.Counters.bump_counter st.agg key 1;
   Mutex.unlock st.mu
+
+let count st key =
+  Mutex.lock st.mu;
+  let v = Telemetry.Counters.value st.agg key in
+  Mutex.unlock st.mu;
+  v
+
+(* Consume one unit of a cumulative fault budget: true (and bumped)
+   while fewer than [n] units are spent, false once exhausted. *)
+let take_budget st key n =
+  Mutex.lock st.mu;
+  let used = Telemetry.Counters.value st.agg key in
+  let ok = used < n in
+  if ok then Telemetry.Counters.bump_counter st.agg key 1;
+  Mutex.unlock st.mu;
+  ok
 
 let rec describe_exn = function
   | Exec.Supervised_abort reason -> reason
@@ -102,7 +126,7 @@ let rec describe_exn = function
   | Barrier.Poisoned e -> describe_exn e
   | e -> Printexc.to_string e
 
-let run ?domains ?chunk ?force ?(retry = 3) ?(watchdog_ms = 5000) ?fault
+let run ?domains ?chunk ?force ?(retry = 3) ?(watchdog_ms = 5000) ?fault ?trace
     (prog : Ast.program) (plan : Expand.Plan.t) (lids : Ast.lid list) : t =
   let retry = max 1 retry in
   let watchdog_ms = max 1 watchdog_ms in
@@ -116,15 +140,7 @@ let run ?domains ?chunk ?force ?(retry = 3) ?(watchdog_ms = 5000) ?fault
       mu = Mutex.create ();
       attempt = 0;
       events = [];
-      retries = 0;
-      crashes = 0;
-      stalls = 0;
-      corruptions = 0;
-      corruptions_detected = 0;
-      watchdog_fires = 0;
-      crash_used = 0;
-      stall_used = 0;
-      corrupt_used = 0;
+      agg = Telemetry.Counters.create ();
       steal_used = Atomic.make 0;
     }
   in
@@ -162,17 +178,14 @@ let run ?domains ?chunk ?force ?(retry = 3) ?(watchdog_ms = 5000) ?fault
           check_abort ();
           Atomic.set hb.(dom) (Unix.gettimeofday ());
           if attempt > 1 then begin
-            bump st (fun s -> s.retries <- s.retries + 1);
+            bump st k_retries;
             record st ~domain:dom ~loop:ck.Exec.ck_lid ~chunk:ck.Exec.ck_chunk
               ~kind:"retry"
               ~detail:(Printf.sprintf "acquisition attempt %d" attempt)
           end;
           (match fkind with
           | Some (Faultinject.Fault.Domain_stall n)
-            when targeted ck && st.stall_used < n ->
-            bump st (fun s ->
-                s.stall_used <- s.stall_used + 1;
-                s.stalls <- s.stalls + 1);
+            when targeted ck && take_budget st k_stalls n ->
             record st ~domain:dom ~loop:ck.Exec.ck_lid ~chunk:ck.Exec.ck_chunk
               ~kind:"stall"
               ~detail:"injected stall: holding the chunk until the watchdog";
@@ -185,10 +198,7 @@ let run ?domains ?chunk ?force ?(retry = 3) ?(watchdog_ms = 5000) ?fault
           | _ -> ());
           match fkind with
           | Some (Faultinject.Fault.Domain_crash n)
-            when targeted ck && st.crash_used < n ->
-            bump st (fun s ->
-                s.crash_used <- s.crash_used + 1;
-                s.crashes <- s.crashes + 1);
+            when targeted ck && take_budget st k_crashes n ->
             record st ~domain:dom ~loop:ck.Exec.ck_lid ~chunk:ck.Exec.ck_chunk
               ~kind:"crash"
               ~detail:
@@ -203,10 +213,8 @@ let run ?domains ?chunk ?force ?(retry = 3) ?(watchdog_ms = 5000) ?fault
       sv_corrupt_log =
         (fun ~dom:_ ck ->
           match fkind with
-          | Some (Faultinject.Fault.Writelog_corrupt n)
-            when targeted ck && st.corrupt_used < n ->
-            bump st (fun s -> s.corrupt_used <- s.corrupt_used + 1);
-            true
+          | Some (Faultinject.Fault.Writelog_corrupt n) when targeted ck ->
+            take_budget st k_corrupt_attempts n
           | _ -> false);
       sv_steal_veto =
         (fun ~dom:_ ->
@@ -226,10 +234,8 @@ let run ?domains ?chunk ?force ?(retry = 3) ?(watchdog_ms = 5000) ?fault
       sv_event =
         (fun ~dom ~kind ~detail ->
           (match kind with
-          | "corrupt" -> bump st (fun s -> s.corruptions <- s.corruptions + 1)
-          | "corrupt-detected" ->
-            bump st (fun s ->
-                s.corruptions_detected <- s.corruptions_detected + 1)
+          | "corrupt" -> bump st k_corruptions
+          | "corrupt-detected" -> bump st k_corruptions_detected
           | _ -> ());
           record st ~domain:dom ~loop:(-1) ~chunk:(-1) ~kind ~detail);
     }
@@ -252,7 +258,7 @@ let run ?domains ?chunk ?force ?(retry = 3) ?(watchdog_ms = 5000) ?fault
                   d watchdog_ms
               in
               Atomic.set abort (Some reason);
-              bump st (fun s -> s.watchdog_fires <- s.watchdog_fires + 1);
+              bump st k_watchdog;
               record st ~domain:(-1) ~loop:(-1) ~chunk:(-1) ~kind:"watchdog"
                 ~detail:reason;
               (Atomic.get poison) (Exec.Supervised_abort reason)
@@ -274,7 +280,8 @@ let run ?domains ?chunk ?force ?(retry = 3) ?(watchdog_ms = 5000) ?fault
       try
         Ok
           (Telemetry.Span.wall ~cat:"supervisor" "supervisor.attempt"
-             (fun () -> Exec.run ?domains ?chunk ?force ~sup:sv prog plan lids))
+             (fun () ->
+               Exec.run ?domains ?chunk ?force ~sup:sv ?trace prog plan lids))
       with e -> Error e
     in
     Atomic.set stop true;
@@ -299,9 +306,12 @@ let run ?domains ?chunk ?force ?(retry = 3) ?(watchdog_ms = 5000) ?fault
       Aborted why
     | Some _, _ ->
       let dirty =
-        st.attempt > 1 || st.retries > 0 || st.crashes > 0 || st.stalls > 0
-        || st.corruptions_detected > 0
-        || st.watchdog_fires > 0
+        st.attempt > 1
+        || count st k_retries > 0
+        || count st k_crashes > 0
+        || count st k_stalls > 0
+        || count st k_corruptions_detected > 0
+        || count st k_watchdog > 0
       in
       if dirty then begin
         record st ~domain:(-1) ~loop:(-1) ~chunk:(-1) ~kind:"recovered"
@@ -312,15 +322,14 @@ let run ?domains ?chunk ?force ?(retry = 3) ?(watchdog_ms = 5000) ?fault
       else Completed
     | None, None -> assert false
   in
+  let snap = Telemetry.Counters.snapshot st.agg in
   if Telemetry.Sink.enabled () then begin
     Telemetry.Span.count "supervisor.attempts" st.attempt;
-    Telemetry.Span.count "supervisor.retries" st.retries;
-    Telemetry.Span.count "supervisor.crashes" st.crashes;
-    Telemetry.Span.count "supervisor.stalls" st.stalls;
-    Telemetry.Span.count "supervisor.corruptions" st.corruptions;
-    Telemetry.Span.count "supervisor.corruptions_detected"
-      st.corruptions_detected;
-    Telemetry.Span.count "supervisor.watchdog_fires" st.watchdog_fires;
+    (* replicate the aggregator verbatim into the global sink, so
+       [--metrics] reports exactly what the campaign entries report *)
+    List.iter
+      (fun (key, v) -> Telemetry.Span.count key v)
+      snap.Telemetry.Counters.counters;
     Telemetry.Span.count "supervisor.steal_lost"
       (match result with Some r -> r.Exec.dx_steal_lost | None -> 0)
   end;
@@ -328,13 +337,14 @@ let run ?domains ?chunk ?force ?(retry = 3) ?(watchdog_ms = 5000) ?fault
     sup_result = result;
     sup_outcome = outcome;
     sup_attempts = st.attempt;
-    sup_retries = st.retries;
-    sup_crashes = st.crashes;
-    sup_stalls = st.stalls;
-    sup_corruptions = st.corruptions;
-    sup_corruptions_detected = st.corruptions_detected;
-    sup_watchdog_fires = st.watchdog_fires;
+    sup_retries = count st k_retries;
+    sup_crashes = count st k_crashes;
+    sup_stalls = count st k_stalls;
+    sup_corruptions = count st k_corruptions;
+    sup_corruptions_detected = count st k_corruptions_detected;
+    sup_watchdog_fires = count st k_watchdog;
     sup_steal_lost =
       (match result with Some r -> r.Exec.dx_steal_lost | None -> 0);
     sup_events = List.rev st.events;
+    sup_counters = snap;
   }

@@ -47,6 +47,9 @@ type t = {
   sup_watchdog_fires : int;
   sup_steal_lost : int;  (** lost steal CASes in the final attempt *)
   sup_events : Guard.Diag.sup_event list;  (** chronological *)
+  sup_counters : Telemetry.Counters.snapshot;
+      (** the underlying aggregator (keys [supervisor.*]) — the single
+          source the [sup_*] fields and [--metrics] both read from *)
 }
 
 val outcome_to_string : outcome -> string
@@ -59,7 +62,9 @@ val summary : t -> string
     per-chunk acquisition budget and the number of full run attempts;
     [watchdog_ms] (default 5000) is the per-chunk heartbeat deadline.
     [fault] arms a domain-level fault kind; pipeline-level kinds are
-    ignored here.
+    ignored here. [trace] is handed to every {!Exec.run} attempt, so
+    a {!Domtrace} recorder accumulates one ring set per attempt —
+    including the failed attempts a recovery discards.
 
     Never hangs: every attempt is bounded by the watchdog, and
     attempts are bounded by [retry]. Never raises on execution
@@ -71,6 +76,7 @@ val run :
   ?retry:int ->
   ?watchdog_ms:int ->
   ?fault:Faultinject.Fault.t ->
+  ?trace:Domtrace.t ->
   Ast.program ->
   Expand.Plan.t ->
   Ast.lid list ->

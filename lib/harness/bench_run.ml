@@ -37,6 +37,8 @@ type t = {
       (** repeats -> median wall ns of the original program *)
   mutable wall_cache : (int * int, wall_result) Hashtbl.t;
       (** (domains, repeats) -> wall-clock measurement *)
+  mutable sched_cache : (int, Domexec.Domtrace.Sched_report.report) Hashtbl.t;
+      (** domains -> scheduler-health report of one traced run *)
 }
 
 and wall_result = {
@@ -76,6 +78,7 @@ let load (w : Workloads.Workload.t) : t =
     contract_oracle = lazy (Guard.Contract.oracle_of prog []);
     wall_seq_cache = Hashtbl.create 4;
     wall_cache = Hashtbl.create 8;
+    sched_cache = Hashtbl.create 4;
   }
 
 let seq (b : t) = Lazy.force b.seq
@@ -318,3 +321,37 @@ let wall ?(repeats = 3) (b : t) ~(domains : int) : wall_result =
     in
     Hashtbl.replace b.wall_cache (domains, repeats) wr;
     wr
+
+(** Scheduler-health report of one traced run on [domains] domains.
+    The run is [force]d so single-core CI hosts still exercise the
+    parallel scheduler, and validated against the same oracle as
+    {!wall}; it is kept separate from the wall measurements so ring
+    instrumentation never contaminates a timed sample. *)
+let sched (b : t) ~(domains : int) : Domexec.Domtrace.Sched_report.report =
+  match Hashtbl.find_opt b.sched_cache domains with
+  | Some r -> r
+  | None ->
+    let oracle = Lazy.force b.contract_oracle in
+    let plan = b.expanded.Expand.Transform.plan in
+    let name = b.workload.Workloads.Workload.name in
+    let tr = Domexec.Domtrace.create () in
+    let r =
+      Domexec.Exec.run ~domains ~force:true ~trace:tr
+        b.expanded.Expand.Transform.transformed plan b.lids
+    in
+    if
+      not
+        (String.equal r.Domexec.Exec.dx_output oracle.Guard.Contract.o_output)
+    then
+      failwith
+        (Printf.sprintf "%s: traced domain-run output mismatch at %d domains"
+           name domains);
+    if r.Domexec.Exec.dx_exit <> oracle.Guard.Contract.o_exit then
+      failwith
+        (Printf.sprintf
+           "%s: traced domain-run exit code %d differs from oracle %d" name
+           r.Domexec.Exec.dx_exit oracle.Guard.Contract.o_exit);
+    Guard.Contract.check_finals oracle plan r.Domexec.Exec.dx_machine;
+    let rep = Domexec.Domtrace.Sched_report.analyze tr in
+    Hashtbl.replace b.sched_cache domains rep;
+    rep

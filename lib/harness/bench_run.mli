@@ -31,6 +31,7 @@ type t = {
   contract_oracle : Guard.Contract.oracle Lazy.t;
   mutable wall_seq_cache : (int, float) Hashtbl.t;
   mutable wall_cache : (int * int, wall_result) Hashtbl.t;
+  mutable sched_cache : (int, Domexec.Domtrace.Sched_report.report) Hashtbl.t;
 }
 
 (** A wall-clock measurement of the domain executor vs the sequential
@@ -111,3 +112,10 @@ val wall_seq : ?repeats:int -> t -> float
     the original's finals/output/exit oracle. Memoized per
     (domains, repeats). *)
 val wall : ?repeats:int -> t -> domains:int -> wall_result
+
+(** Scheduler-health report of one traced, oracle-validated domain run
+    ([force]d, so single-core CI hosts still exercise the parallel
+    scheduler). Kept separate from {!wall}'s samples so ring
+    instrumentation never contaminates a timed measurement. Memoized
+    per domain count. *)
+val sched : t -> domains:int -> Domexec.Domtrace.Sched_report.report

@@ -308,6 +308,51 @@ let domexec (benches : Bench_run.t list) : string =
         ]
       rows
 
+(** Scheduler-health summary from one traced run per domain count —
+    the same {!Bench_run.sched} reports whose JSON lands in
+    BENCH_results.json, rendered for a human. Utilization spread and
+    the imbalance coefficient localize stragglers; drops > 0 means the
+    ring capacity clipped the trace. *)
+let domtrace (benches : Bench_run.t list) : string =
+  let module SR = Domexec.Domtrace.Sched_report in
+  let counts = List.filter (fun d -> d > 1 && d <= 4) Bench_run.domain_counts in
+  let rows =
+    List.concat_map
+      (fun b ->
+        List.map
+          (fun d ->
+            let r = Bench_run.sched b ~domains:d in
+            let utils =
+              Array.to_list (Array.map SR.utilization r.SR.sr_domains)
+            in
+            [
+              name b;
+              string_of_int d;
+              string_of_int r.SR.sr_events;
+              string_of_int r.SR.sr_drops;
+              (match r.SR.sr_steal_success with
+              | None -> "-"
+              | Some s -> Tables.pct s);
+              Tables.fx r.SR.sr_imbalance;
+              (match r.SR.sr_straggler with
+              | None -> "-"
+              | Some dom -> "domain " ^ string_of_int dom);
+              Tables.pct (List.fold_left Float.min 1. utils);
+              Tables.pct (List.fold_left Float.max 0. utils);
+              Tables.pct r.SR.sr_gc_share;
+            ])
+          counts)
+      benches
+  in
+  "Domtrace: scheduler health from per-domain event rings (fault-free runs)\n"
+  ^ Tables.render
+      ~header:
+        [
+          "benchmark"; "domains"; "events"; "drops"; "steal succ";
+          "imbalance"; "straggler"; "min util"; "max util"; "gc share";
+        ]
+      rows
+
 (* thunked so that selecting a subset only runs what it needs *)
 let all (benches : Bench_run.t list) : (string * (unit -> string)) list =
   [
@@ -324,4 +369,5 @@ let all (benches : Bench_run.t list) : (string * (unit -> string)) list =
     ("metrics", fun () -> metrics benches ~threads:4);
     ("heatmap", fun () -> heatmap benches ~threads:4);
     ("domexec", fun () -> domexec benches);
+    ("domtrace", fun () -> domtrace benches);
   ]

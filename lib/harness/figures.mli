@@ -29,6 +29,12 @@ val heatmap : Bench_run.t list -> threads:int -> string
     fallback as used=1. *)
 val domexec : Bench_run.t list -> string
 
+(** Scheduler-health summary (events, drops, steal success, imbalance,
+    straggler, utilization spread, GC share) from one traced run per
+    domain count — the same reports [bench] writes to
+    BENCH_results.json. *)
+val domtrace : Bench_run.t list -> string
+
 (** Every artifact by name, thunked so that selecting a subset only
     runs the measurements it needs. *)
 val all : Bench_run.t list -> (string * (unit -> string)) list

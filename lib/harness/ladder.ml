@@ -94,7 +94,7 @@ let rp_program (orig : Ast.program) : Ast.program =
   p
 
 let run ?(threads = 4) ?reference ?oracle ?span_shrink ?attach_extra
-    ?(exec = `Sim) ?domains ?chunk ?force ?retry ?watchdog_ms ?fault
+    ?(exec = `Sim) ?domains ?chunk ?force ?retry ?watchdog_ms ?fault ?trace
     (orig : Ast.program) (analyses : Privatize.Analyze.result list) : outcome
     =
   let oracle =
@@ -214,7 +214,7 @@ let run ?(threads = 4) ?reference ?oracle ?span_shrink ?attach_extra
         in
         let sup =
           Domexec.Supervisor.run ?domains ?chunk ?force ?retry ?watchdog_ms
-            ?fault res.Expand.Transform.transformed plan lids
+            ?fault ?trace res.Expand.Transform.transformed plan lids
         in
         match sup.Domexec.Supervisor.sup_outcome with
         | Domexec.Supervisor.Aborted reason ->

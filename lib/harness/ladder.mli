@@ -54,9 +54,10 @@ type outcome = {
     static expansion as before; [`Domains] first runs the expanded
     program on real domains under [Domexec.Supervisor] —
     [domains]/[chunk]/[force]/[retry]/[watchdog_ms] configure it and
-    [fault] arms a domain-level fault — and falls to the simulated
-    rungs when supervision aborts or the recovered state fails the
-    contract. *)
+    [fault] arms a domain-level fault; [trace] attaches a
+    [Domexec.Domtrace] ring recorder to every supervised attempt —
+    and falls to the simulated rungs when supervision aborts or the
+    recovered state fails the contract. *)
 val run :
   ?threads:int ->
   ?reference:Privatize.Analyze.result list ->
@@ -70,6 +71,7 @@ val run :
   ?retry:int ->
   ?watchdog_ms:int ->
   ?fault:Faultinject.Fault.t ->
+  ?trace:Domexec.Domtrace.t ->
   Ast.program ->
   Privatize.Analyze.result list ->
   outcome

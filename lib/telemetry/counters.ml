@@ -76,6 +76,9 @@ let bump_counter (a : t) (name : string) (delta : int) : unit =
   Hashtbl.replace a.cs name
     (delta + Option.value ~default:0 (Hashtbl.find_opt a.cs name))
 
+let value (a : t) (name : string) : int =
+  Option.value ~default:0 (Hashtbl.find_opt a.cs name)
+
 let observe (a : t) (name : string) (value : int) : unit =
   let h =
     match Hashtbl.find_opt a.hs name with

@@ -26,4 +26,13 @@ val create : unit -> t
     or trace the same events). *)
 val sink : t -> Sink.t
 
+(** Direct counter access, for components (e.g. the domexec
+    supervisor) that use an aggregator as their own source of truth
+    rather than routing through the global sink. Not thread-safe:
+    callers serialize access themselves. *)
+val bump_counter : t -> string -> int -> unit
+
+(** Current value of a counter, 0 if never bumped. *)
+val value : t -> string -> int
+
 val snapshot : t -> snapshot
