@@ -167,8 +167,35 @@ let sched_json (b : Harness.Bench_run.t) : Telemetry.Json.t =
              (Harness.Bench_run.sched b ~domains:d) ))
        wall_domains)
 
+(* Critical-path summaries from the same traced runs sched_json draws
+   on: the cycle-model and measured speedups plus the dominant
+   critical-path segment class, keyed by domain count. The full
+   artifact (per-class breakdown, what-if table) is `dsexpand
+   --critical-path`'s output; this is the trend-friendly digest. *)
+let critpath_json (b : Harness.Bench_run.t) : Telemetry.Json.t =
+  let open Telemetry.Json in
+  let seq_cycles = Harness.Bench_run.seq_interp_cycles b in
+  let seq_ns = Harness.Bench_run.wall_seq b in
+  Obj
+    (List.map
+       (fun d ->
+         let p = Harness.Bench_run.critpath b ~domains:d in
+         let cls, share = Domexec.Critpath.dominant p in
+         ( string_of_int d,
+           Obj
+             [
+               ( "model_speedup",
+                 Float (Domexec.Critpath.model_speedup p ~seq_cycles) );
+               ( "measured_speedup",
+                 Float (Domexec.Critpath.measured_speedup p ~seq_ns) );
+               ("dominant", Str cls);
+               ("dominant_share", Float share);
+               ("wall_ns", Float (Domexec.Critpath.wall_ns p));
+             ] ))
+       wall_domains)
+
 (* Machine-readable results for CI trending; the schema is documented
-   in EXPERIMENTS.md ("dsexpand-bench/4"). *)
+   in EXPERIMENTS.md ("dsexpand-bench/5"). *)
 let results_json ~fast ~stages ~artifacts (benches : Harness.Bench_run.t list)
     : Telemetry.Json.t =
   let open Telemetry.Json in
@@ -191,6 +218,7 @@ let results_json ~fast ~stages ~artifacts (benches : Harness.Bench_run.t list)
             Harness.Bench_run.thread_counts );
         ("wall", wall_json b);
         ("sched", sched_json b);
+        ("critpath", critpath_json b);
         ( "memory_multiple",
           at_threads
             (fun ~threads -> Harness.Bench_run.memory_multiple b ~threads)
@@ -199,7 +227,7 @@ let results_json ~fast ~stages ~artifacts (benches : Harness.Bench_run.t list)
   in
   Obj
     [
-      ("schema", Str "dsexpand-bench/4");
+      ("schema", Str "dsexpand-bench/5");
       ("fast", Bool fast);
       ("stages_ns", ns_obj stages);
       ("artifacts_ns", ns_obj artifacts);
@@ -215,7 +243,7 @@ let baseline_json (benches : Harness.Bench_run.t list) : Telemetry.Json.t =
   let open Telemetry.Json in
   Obj
     [
-      ("schema", Str "dsexpand-bench/4");
+      ("schema", Str "dsexpand-bench/5");
       ( "workloads",
         List
           (List.map
@@ -228,6 +256,56 @@ let baseline_json (benches : Harness.Bench_run.t list) : Telemetry.Json.t =
                  ])
              benches) );
     ]
+
+(* ------------------------------------------------------------------ *)
+(* Persistent history (`--record` / `--history`)                       *)
+(* ------------------------------------------------------------------ *)
+
+let history_file = "bench/HISTORY.jsonl"
+
+(* Flatten one run into the history's metric-key -> value pairs. Key
+   naming carries the analyzer's comparison semantics (see
+   Harness.History): "/cycles/" keys gate tight (deterministic),
+   "speedup" keys gate loose (host noise), and the critpath digest
+   keys are deliberately named so they stay informational — a traced
+   run's measured speedup is noisier than the clean wall samples and
+   should be trended, not gated. *)
+let history_metrics (benches : Harness.Bench_run.t list) :
+    (string * float) list =
+  List.concat_map
+    (fun b ->
+      let name = bench_name b in
+      let cyc =
+        List.map
+          (fun (k, v) ->
+            (Printf.sprintf "%s/cycles/%s" name k, float_of_int v))
+          (cycles_of b)
+      in
+      let wall =
+        List.map
+          (fun (d, wr) ->
+            ( Printf.sprintf "%s/wall@%d/speedup" name d,
+              wr.Harness.Bench_run.wr_speedup ))
+          (wall_of b)
+      in
+      let seq_cycles = Harness.Bench_run.seq_interp_cycles b in
+      let seq_ns = Harness.Bench_run.wall_seq b in
+      let crit =
+        List.concat_map
+          (fun d ->
+            let p = Harness.Bench_run.critpath b ~domains:d in
+            let _, share = Domexec.Critpath.dominant p in
+            [
+              ( Printf.sprintf "%s/critpath@%d/model" name d,
+                Domexec.Critpath.model_speedup p ~seq_cycles );
+              ( Printf.sprintf "%s/critpath@%d/measured" name d,
+                Domexec.Critpath.measured_speedup p ~seq_ns );
+              (Printf.sprintf "%s/critpath@%d/dominant_share" name d, share);
+            ])
+          wall_domains
+      in
+      cyc @ wall @ crit)
+    benches
 
 let read_file file =
   let ic = open_in_bin file in
@@ -515,6 +593,45 @@ let () =
     write_json file (baseline_json benches);
     Printf.printf "updated %s\n" file;
     exit 0
+  end;
+  (* --record: append this run's metrics to the persistent history
+     (bench/HISTORY.jsonl) — deterministic cycles, wall speedups and
+     the critpath digest; no bechamel, no artifact regeneration *)
+  if List.mem "--record" argv then begin
+    let file =
+      Option.value (arg_of "--history-file" argv) ~default:history_file
+    in
+    let benches = List.map Harness.Bench_run.load (workloads_for ()) in
+    let entry =
+      {
+        Harness.History.h_time = Unix.gettimeofday ();
+        h_rev = Harness.History.git_rev ();
+        h_domains = Domain.recommended_domain_count ();
+        h_config = (if fast then "fast" else "full");
+        h_metrics = history_metrics benches;
+      }
+    in
+    Harness.History.append ~file entry;
+    Printf.printf "recorded %d metric(s) to %s (rev %s, config %s)\n"
+      (List.length entry.Harness.History.h_metrics)
+      file entry.Harness.History.h_rev entry.Harness.History.h_config;
+    exit 0
+  end;
+  (* --history: trend/changepoint report over the recorded runs; exits
+     non-zero when the latest run regressed a gated metric *)
+  if List.mem "--history" argv then begin
+    let file =
+      Option.value (arg_of "--history-file" argv) ~default:history_file
+    in
+    let entries = Harness.History.load ~file in
+    if entries = [] then begin
+      Printf.printf "no history at %s (record one with `bench --record`)\n"
+        file;
+      exit 0
+    end;
+    let series = Harness.History.analyze entries in
+    print_string (Harness.History.render entries series);
+    exit (if Harness.History.regressions series > 0 then 1 else 0)
   end;
   Bechamel_notty.Unit.add Instance.monotonic_clock
     (Measure.unit Instance.monotonic_clock);

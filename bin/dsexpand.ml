@@ -247,6 +247,42 @@ let sched_format_arg =
     & info [ "sched-format" ] ~docv:"FMT"
         ~doc:"Format of the --sched-report: $(b,table) or $(b,json).")
 
+let critical_path_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "critical-path" ] ~docv:"FILE"
+        ~doc:
+          "With --exec domains: reconstruct the happens-before DAG from the \
+           per-domain event rings, compute the cross-domain critical path, \
+           and write the profile (schema dsexpand-critpath/1) to FILE. The \
+           artifact's base object — schedule, event counts, and the \
+           virtual-time (interpreter-cycle) model — is byte-reproducible \
+           under a fixed --seed when the schedule is race-free (pin --chunk \
+           so every domain gets at most one chunk).")
+
+let whatif_arg =
+  Arg.(
+    value & flag
+    & info [ "whatif" ]
+        ~doc:
+          "With --critical-path: append the host-clock measured section \
+           (per-class critical-path contributions, dominant class, \
+           exec-cycle inflation vs the sequential run) and the causal \
+           what-if table — the estimated wall-clock speedup from shrinking \
+           each segment class, and the heaviest single chunk, by \
+           10/25/50/100%. These sections are measurements, not \
+           reproducible bytes.")
+
+let critpath_format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("table", `Table); ("json", `Json) ]) `Table
+    & info [ "critpath-format" ] ~docv:"FMT"
+        ~doc:
+          "Stdout rendering of the --critical-path profile: $(b,table) or \
+           $(b,json) (the artifact file is always JSON).")
+
 let heatmap_arg =
   Arg.(
     value
@@ -568,6 +604,34 @@ let emit_domtrace ~file ~domain_trace ~sched_report ~sched_format dtrace =
       | `Table -> print_string (Domexec.Domtrace.Sched_report.to_table rep)
     end
 
+(* Emit the --critical-path artifact from the same recorder: the file
+   always gets the JSON profile (deterministic base object; --whatif
+   appends the measured and what-if sections), stdout gets the
+   --critpath-format rendering. *)
+let emit_critpath ~file ~critical_path ~whatif ~critpath_format ~seq_ns
+    ~seq_cycles dtrace =
+  match (critical_path, dtrace) with
+  | None, _ | _, None -> ()
+  | Some path, Some tr ->
+    let p = Domexec.Critpath.analyze tr in
+    let json =
+      Domexec.Critpath.to_json ~seq_ns ~seq_cycles ~whatif
+        ~extra:[ ("workload", Telemetry.Json.Str file) ]
+        p
+    in
+    let oc = open_out_bin path in
+    output_string oc (Telemetry.Json.to_string json);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "critical path -> %s (%d attempt(s), %d domains%s)\n" path
+      (Domexec.Critpath.attempts p)
+      (Domexec.Critpath.domains p)
+      (if whatif then ", with what-if" else "");
+    (match critpath_format with
+    | `Json -> print_endline (Telemetry.Json.to_string json)
+    | `Table ->
+      print_string (Domexec.Critpath.to_table ~seq_ns ~seq_cycles ~whatif p))
+
 let run_ladder ~threads ~seed ~exec_mode ~domains ~chunk ~retry ~watchdog_ms
     ~file ~dtrace ~domain_trace ~sched_report ~sched_format prog analyses
     fault_spec =
@@ -640,14 +704,16 @@ let run_ladder ~threads ~seed ~exec_mode ~domains ~chunk ~retry ~watchdog_ms
     run is validated: output and exit code against the original, final
     global state via the privatization contract. *)
 let run_domains ~domains ~chunk ~retry ~watchdog_ms ~seed ~fault_spec ~file
-    ~dtrace ~domain_trace ~sched_report ~sched_format prog
-    (res : Expand.Transform.result) (lids : Minic.Ast.lid list) : unit =
+    ~dtrace ~domain_trace ~sched_report ~sched_format ~critical_path ~whatif
+    ~critpath_format prog (res : Expand.Transform.result)
+    (lids : Minic.Ast.lid list) : unit =
   let plan = res.Expand.Transform.plan in
   let oracle = Guard.Contract.oracle_of prog [] in
   let m0 = Interp.Machine.load prog in
   let t0 = Unix.gettimeofday () in
   ignore (Interp.Machine.run m0);
   let seq_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+  let seq_cycles = m0.Interp.Machine.st.Interp.Machine.cycles in
   (* An explicit --domains N is a request for the parallel scheduler
      even when the host reports one core. *)
   let force = domains <> None in
@@ -657,6 +723,8 @@ let run_domains ~domains ~chunk ~retry ~watchdog_ms ~seed ~fault_spec ~file
       ?trace:dtrace res.Expand.Transform.transformed plan lids
   in
   emit_domtrace ~file ~domain_trace ~sched_report ~sched_format dtrace;
+  emit_critpath ~file ~critical_path ~whatif ~critpath_format ~seq_ns
+    ~seq_cycles dtrace;
   let finish code =
     Printf.eprintf "dsexpand: exec=domains outcome=%s\n" (outcome_word code);
     if code <> 0 then exit code
@@ -712,13 +780,17 @@ let run_domains ~domains ~chunk ~retry ~watchdog_ms ~seed ~fault_spec ~file
 let run input workload dump_deps report check threads no_opt unselective
     guard ladder fault seed campaign campaign_json trace metrics
     metrics_format explain explain_format heatmap exec_mode domains chunk
-    retry watchdog_ms domain_trace sched_report sched_format =
+    retry watchdog_ms domain_trace sched_report sched_format critical_path
+    whatif critpath_format =
   setup_telemetry ~trace ~metrics ~metrics_format;
-  (* The ring recorder behind --domain-trace / --sched-report; absent
-     (zero-cost in the executor) unless one of them asked for it. *)
+  (* The ring recorder behind --domain-trace / --sched-report /
+     --critical-path; absent (zero-cost in the executor) unless one of
+     them asked for it. *)
   let dtrace =
-    if exec_mode = `Domains && (domain_trace <> None || sched_report) then
-      Some (Domexec.Domtrace.create ())
+    if
+      exec_mode = `Domains
+      && (domain_trace <> None || sched_report || critical_path <> None)
+    then Some (Domexec.Domtrace.create ())
     else None
   in
   if campaign then begin
@@ -822,7 +894,8 @@ let run input workload dump_deps report check threads no_opt unselective
     Option.iter (write_heatmap ~threads ~file analyses res) heatmap;
     if exec_mode = `Domains then
       run_domains ~domains ~chunk ~retry ~watchdog_ms ~seed ~fault_spec:fault
-        ~file ~dtrace ~domain_trace ~sched_report ~sched_format prog res lids
+        ~file ~dtrace ~domain_trace ~sched_report ~sched_format ~critical_path
+        ~whatif ~critpath_format prog res lids
     else if check then begin
       let code0, out0 = Interp.Machine.run_program prog in
       let m = Interp.Machine.load res.Expand.Transform.transformed in
@@ -900,6 +973,7 @@ let cmd =
       $ trace_arg $ metrics_arg $ metrics_format_arg $ explain_arg
       $ explain_format_arg $ heatmap_arg $ exec_arg $ domains_arg $ chunk_arg
       $ retry_arg $ watchdog_ms_arg $ domain_trace_arg $ sched_report_arg
-      $ sched_format_arg)
+      $ sched_format_arg $ critical_path_arg $ whatif_arg
+      $ critpath_format_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -9,7 +9,7 @@
 let known =
   [
     "table4"; "table5"; "fig8"; "fig9a"; "fig9b"; "fig10"; "fig11"; "fig12";
-    "fig13"; "fig14"; "metrics"; "heatmap"; "domexec"; "domtrace";
+    "fig13"; "fig14"; "metrics"; "heatmap"; "domexec"; "domtrace"; "critpath";
   ]
 
 let () =

@@ -1,0 +1,797 @@
+(** See the interface. Three stages: parse each (attempt, domain)
+    event stream into blocks of typed segments separated by barrier
+    joins; replay the blocks through a virtual clock that advances
+    domains independently and synchronizes them at each join; read
+    the critical path off the replay (the per-phase leader's
+    segments) under both the measured-ns and the virtual-time
+    weighting. *)
+
+(* Accounting classes. [Exec..Interp] are parse-time segment modes;
+   [Gc] is carved out of Exec/Interp/Merge segments in proportion to
+   the measured pause time; [Barrier] is derived slack, never a
+   segment the replay advances through. *)
+let cls_exec = 0
+let cls_claim = 1
+let cls_steal = 2
+let cls_backoff = 3
+let cls_merge = 4
+let cls_gc = 5
+let cls_interp = 6
+let cls_barrier = 7
+let ncls = 8
+
+let cls_name = function
+  | 0 -> "exec"
+  | 1 -> "claim"
+  | 2 -> "steal"
+  | 3 -> "backoff"
+  | 4 -> "merge"
+  | 5 -> "gc"
+  | 6 -> "interp"
+  | 7 -> "barrier"
+  | _ -> assert false
+
+type seg = {
+  sg_cls : int;
+  sg_label : string;
+  mutable sg_ns : float;  (** measured ns, GC portion removed *)
+  mutable sg_gc_ns : float;  (** GC portion carved from this segment *)
+  sg_vt : int;  (** deterministic weight, cycles *)
+}
+
+type block = {
+  bk_segs : seg list;
+  bk_join : (int * int) option;  (** (lid, invocation) barrier key *)
+}
+
+type profile = {
+  p_domains : int;
+  p_attempts : int;
+  p_chains : block list array list;  (** per attempt, per domain *)
+  p_schedule : string list array;  (** chunk labels per domain, in order *)
+  p_joins : int;
+  p_chunks : int;
+  p_stolen : int;
+  p_steal_empty : int;
+  p_steal_lost : int;
+  p_events : int;
+  p_drops : int;
+  p_merge_bytes : int;
+  (* baseline replays, filled at analysis time *)
+  p_wall_ns : float;
+  p_barrier_ns : float;
+  p_class_path_ns : float array;
+  p_class_total_ns : float array;
+  p_vt_wall : float;
+  p_vt_total : float;
+  p_class_path_vt : float array;
+  p_class_total_vt : float array;
+  p_top_chunks : (string * float) list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Parsing: one (attempt, domain) event stream -> blocks of segments   *)
+(* ------------------------------------------------------------------ *)
+
+(* Merge segments advance no interpreter cycles (the replay writes
+   memory directly), so their virtual weight is the replayed byte
+   count scaled to word stores. *)
+let merge_vt_of_bytes bytes = max 0 bytes / 8
+
+type parse_stats = {
+  mutable ps_chunks : int;
+  mutable ps_stolen : int;
+  mutable ps_steal_empty : int;
+  mutable ps_steal_lost : int;
+  mutable ps_merge_bytes : int;
+}
+
+let parse_stream (stats : parse_stats) (events : Ring.event list) :
+    block list * string list =
+  let blocks = ref [] in
+  let segs = ref [] in
+  let sched = ref [] in
+  let carves = ref [] in
+  let carved = ref 0 in
+  let mode = ref cls_interp in
+  let mode_label = ref "interp" in
+  let prev_ts = ref None in
+  let prev_vt = ref 0 in
+  let push_block join =
+    blocks := { bk_segs = List.rev !segs; bk_join = join } :: !blocks;
+    segs := []
+  in
+  (* Close the gap since the previous event as a segment of the
+     current mode, minus any steal/backoff time carved out of it.
+     [cls < 0] discards the remainder (the pre-barrier wait, which
+     the replay re-derives as slack). *)
+  let close (e : Ring.event) ~cls ~label =
+    (match !prev_ts with
+    | None -> ()
+    | Some t0 ->
+      let gap = max 0 (e.Ring.ev_ts - t0) in
+      let self = max 0 (gap - !carved) in
+      let dvt = max 0 (e.ev_vt - !prev_vt) in
+      List.iter
+        (fun (c, ns) ->
+          if ns > 0 then
+            segs :=
+              {
+                sg_cls = c;
+                sg_label = cls_name c;
+                sg_ns = float_of_int ns;
+                sg_gc_ns = 0.0;
+                sg_vt = 0;
+              }
+              :: !segs)
+        (List.rev !carves);
+      if cls >= 0 && (self > 0 || dvt > 0) then
+        segs :=
+          {
+            sg_cls = cls;
+            sg_label = label;
+            sg_ns = float_of_int self;
+            sg_gc_ns = 0.0;
+            sg_vt = dvt;
+          }
+          :: !segs);
+    carves := [];
+    carved := 0;
+    prev_ts := Some e.ev_ts;
+    prev_vt := e.ev_vt
+  in
+  let carve (e : Ring.event) c =
+    let avail =
+      match !prev_ts with
+      | None -> 0
+      | Some t0 -> max 0 (e.Ring.ev_ts - t0 - !carved)
+    in
+    let ns = min (max 0 e.ev_c) avail in
+    carves := (c, ns) :: !carves;
+    carved := !carved + ns
+  in
+  let chunk_label (e : Ring.event) =
+    let base = Printf.sprintf "L%d#%d" e.ev_a e.ev_c in
+    if e.ev_b > 0 then Printf.sprintf "%s@%d" base e.ev_b else base
+  in
+  List.iter
+    (fun (e : Ring.event) ->
+      match e.Ring.ev_kind with
+      | Ring.Run_begin ->
+        (* fresh attempt stream for this domain: drop any pre-spawn gap *)
+        carves := [];
+        carved := 0;
+        prev_ts := Some e.ev_ts;
+        prev_vt := e.ev_vt;
+        mode := cls_interp;
+        mode_label := "interp"
+      | Ring.Run_end | Ring.Poison ->
+        close e ~cls:!mode ~label:!mode_label;
+        mode := cls_interp;
+        mode_label := "interp"
+      | Ring.Chunk_claim ->
+        close e ~cls:!mode ~label:!mode_label;
+        mode := cls_claim;
+        mode_label := "claim"
+      | Ring.Chunk_start ->
+        close e ~cls:!mode ~label:!mode_label;
+        mode := cls_exec;
+        mode_label := chunk_label e;
+        sched := !mode_label :: !sched
+      | Ring.Chunk_finish ->
+        close e ~cls:!mode ~label:!mode_label;
+        stats.ps_chunks <- stats.ps_chunks + 1;
+        mode := cls_interp;
+        mode_label := "interp"
+      | Ring.Merge_begin ->
+        (* the wait before the merge barrier: discarded, re-derived *)
+        close e ~cls:(-1) ~label:"barrier";
+        push_block (Some (e.ev_a, e.ev_b));
+        mode := cls_merge;
+        mode_label := Printf.sprintf "merge L%d" e.ev_a
+      | Ring.Merge_end ->
+        close e ~cls:!mode ~label:!mode_label;
+        (* override the merge segment's virtual weight with the
+           deterministic byte count the event carries *)
+        (match !segs with
+        | s :: rest when s.sg_cls = cls_merge ->
+          stats.ps_merge_bytes <- stats.ps_merge_bytes + max 0 e.ev_c;
+          segs :=
+            { s with sg_vt = s.sg_vt + merge_vt_of_bytes e.ev_c } :: rest
+        | _ -> ());
+        mode := cls_interp;
+        mode_label := "interp"
+      | Ring.Steal_stolen ->
+        stats.ps_stolen <- stats.ps_stolen + 1;
+        carve e cls_steal
+      | Ring.Steal_empty ->
+        stats.ps_steal_empty <- stats.ps_steal_empty + 1;
+        carve e cls_steal
+      | Ring.Steal_lost ->
+        stats.ps_steal_lost <- stats.ps_steal_lost + 1;
+        carve e cls_steal
+      | Ring.Backoff -> carve e cls_backoff
+      | Ring.Retry | Ring.Heartbeat | Ring.Gc_sample -> ())
+    events;
+  push_block None;
+  (List.rev !blocks, List.rev !sched)
+
+(* ------------------------------------------------------------------ *)
+(* Replay                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type sim = {
+  sm_wall : float;
+  sm_barrier : float;  (** derived slack at joins, summed over domains *)
+  sm_class_path : float array;
+  sm_class_total : float array;
+}
+
+(* [dur seg] returns the (self, gc) weights the replay advances by;
+   self books under the segment's class, gc under [cls_gc]. *)
+let simulate (chains : block list array list) ~doms
+    ~(dur : seg -> float * float) : sim =
+  let path = Array.make ncls 0.0 in
+  let tot = Array.make ncls 0.0 in
+  let barrier = ref 0.0 in
+  let t_base = ref 0.0 in
+  let run_block (b : block) =
+    let contrib = Array.make ncls 0.0 in
+    let d =
+      List.fold_left
+        (fun acc s ->
+          let self, gc = dur s in
+          contrib.(s.sg_cls) <- contrib.(s.sg_cls) +. self;
+          contrib.(cls_gc) <- contrib.(cls_gc) +. gc;
+          acc +. self +. gc)
+        0.0 b.bk_segs
+    in
+    Array.iteri (fun i v -> tot.(i) <- tot.(i) +. v) contrib;
+    (d, contrib)
+  in
+  List.iter
+    (fun (att : block list array) ->
+      let nd = Array.length att in
+      let t = Array.make (max nd 1) !t_base in
+      let cursors = Array.map (fun bl -> ref bl) att in
+      let njoins =
+        Array.fold_left
+          (fun m bl ->
+            max m
+              (List.length (List.filter (fun b -> b.bk_join <> None) bl)))
+          0 att
+      in
+      for _j = 1 to njoins do
+        (* every participating domain advances through its next
+           join-terminated block, then all wait for the slowest *)
+        let contribs = Array.make (max nd 1) None in
+        Array.iteri
+          (fun d cur ->
+            match !cur with
+            | b :: rest when b.bk_join <> None ->
+              let dns, contrib = run_block b in
+              t.(d) <- t.(d) +. dns;
+              contribs.(d) <- Some contrib;
+              cur := rest
+            | _ -> ())
+          cursors;
+        let tmax = ref !t_base and leader = ref (-1) in
+        Array.iteri
+          (fun d c ->
+            if c <> None && (!leader < 0 || t.(d) > !tmax) then begin
+              tmax := t.(d);
+              leader := d
+            end)
+          contribs;
+        if !leader >= 0 then begin
+          (match contribs.(!leader) with
+          | Some contrib ->
+            Array.iteri (fun i v -> path.(i) <- path.(i) +. v) contrib
+          | None -> ());
+          Array.iteri
+            (fun d c ->
+              if c <> None then begin
+                barrier := !barrier +. (!tmax -. t.(d));
+                t.(d) <- !tmax
+              end)
+            contribs
+        end
+      done;
+      (* tail blocks (after the last join, or the whole stream when
+         the attempt never merged), then the attempt-end join *)
+      let contribs = Array.make (max nd 1) None in
+      Array.iteri
+        (fun d cur ->
+          let contrib = Array.make ncls 0.0 in
+          let any = ref (nd > 0) in
+          List.iter
+            (fun b ->
+              let dns, c = run_block b in
+              t.(d) <- t.(d) +. dns;
+              Array.iteri (fun i v -> contrib.(i) <- contrib.(i) +. v) c;
+              any := true)
+            !cur;
+          cur := [];
+          if !any then contribs.(d) <- Some contrib)
+        cursors;
+      let tmax = ref !t_base and leader = ref (-1) in
+      Array.iteri
+        (fun d c ->
+          if c <> None && (!leader < 0 || t.(d) > !tmax) then begin
+            tmax := t.(d);
+            leader := d
+          end)
+        contribs;
+      if !leader >= 0 then begin
+        (match contribs.(!leader) with
+        | Some contrib ->
+          Array.iteri (fun i v -> path.(i) <- path.(i) +. v) contrib
+        | None -> ());
+        Array.iteri
+          (fun d c -> if c <> None then barrier := !barrier +. (!tmax -. t.(d)))
+          contribs;
+        t_base := !tmax
+      end;
+      ignore doms)
+    chains;
+  tot.(cls_barrier) <- !barrier;
+  {
+    sm_wall = !t_base;
+    sm_barrier = !barrier;
+    sm_class_path = path;
+    sm_class_total = tot;
+  }
+
+let dur_measured (s : seg) = (s.sg_ns, s.sg_gc_ns)
+let dur_vt (s : seg) = (float_of_int s.sg_vt, 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* Analysis                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let analyze (t : Domtrace.t) : profile =
+  let attempt_events = Domtrace.attempt_events t in
+  let doms =
+    List.fold_left (fun m evs -> max m (Array.length evs)) 0 attempt_events
+  in
+  let stats =
+    {
+      ps_chunks = 0;
+      ps_stolen = 0;
+      ps_steal_empty = 0;
+      ps_steal_lost = 0;
+      ps_merge_bytes = 0;
+    }
+  in
+  let schedule = Array.make (max doms 1) [] in
+  let chains =
+    List.map
+      (fun (evs : Ring.event list array) ->
+        Array.mapi
+          (fun d events ->
+            let blocks, sched = parse_stream stats events in
+            schedule.(d) <- schedule.(d) @ sched;
+            blocks)
+          evs)
+      attempt_events
+  in
+  let joins =
+    List.fold_left
+      (fun acc att ->
+        acc
+        + Array.fold_left
+            (fun m bl ->
+              max m
+                (List.length (List.filter (fun b -> b.bk_join <> None) bl)))
+            0 att)
+      0 chains
+  in
+  (* Carve the measured GC pause time out of the classes it actually
+     interrupts (chunk execution, interpreter time, merge replay),
+     per domain, in proportion to each segment's duration. The
+     per-domain pause estimate comes from the sched analyzer's
+     allocation-proportional attribution. *)
+  let rep = Domtrace.Sched_report.analyze t in
+  let gc_of_dom d =
+    let rows = rep.Domtrace.Sched_report.sr_domains in
+    if d < Array.length rows then
+      float_of_int rows.(d).Domtrace.Sched_report.dr_gc_ns
+    else 0.0
+  in
+  for d = 0 to doms - 1 do
+    let carveable s =
+      s.sg_cls = cls_exec || s.sg_cls = cls_interp || s.sg_cls = cls_merge
+    in
+    let total =
+      List.fold_left
+        (fun acc att ->
+          if d < Array.length att then
+            List.fold_left
+              (fun acc b ->
+                List.fold_left
+                  (fun acc s -> if carveable s then acc +. s.sg_ns else acc)
+                  acc b.bk_segs)
+              acc att.(d)
+          else acc)
+        0.0 chains
+    in
+    let gc = gc_of_dom d in
+    if total > 0.0 && gc > 0.0 then begin
+      let f = min 1.0 (gc /. total) in
+      List.iter
+        (fun att ->
+          if d < Array.length att then
+            List.iter
+              (fun b ->
+                List.iter
+                  (fun s ->
+                    if carveable s then begin
+                      s.sg_gc_ns <- s.sg_ns *. f;
+                      s.sg_ns <- s.sg_ns *. (1.0 -. f)
+                    end)
+                  b.bk_segs)
+              att.(d))
+        chains
+    end
+  done;
+  let measured = simulate chains ~doms ~dur:dur_measured in
+  let vt = simulate chains ~doms ~dur:dur_vt in
+  let top_chunks =
+    let tbl = Hashtbl.create 64 in
+    List.iter
+      (fun att ->
+        Array.iter
+          (fun bl ->
+            List.iter
+              (fun b ->
+                List.iter
+                  (fun s ->
+                    if s.sg_cls = cls_exec then
+                      let prev =
+                        Option.value ~default:0.0
+                          (Hashtbl.find_opt tbl s.sg_label)
+                      in
+                      Hashtbl.replace tbl s.sg_label
+                        (prev +. s.sg_ns +. s.sg_gc_ns))
+                  b.bk_segs)
+              bl)
+          att)
+      chains;
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+    |> List.sort (fun (la, a) (lb, b) ->
+           match compare b a with 0 -> compare la lb | c -> c)
+    |> List.filteri (fun i _ -> i < 5)
+  in
+  {
+    p_domains = doms;
+    p_attempts = List.length attempt_events;
+    p_chains = chains;
+    p_schedule = schedule;
+    p_joins = joins;
+    p_chunks = stats.ps_chunks;
+    p_stolen = stats.ps_stolen;
+    p_steal_empty = stats.ps_steal_empty;
+    p_steal_lost = stats.ps_steal_lost;
+    p_events = Domtrace.total_events t;
+    p_drops = Domtrace.total_drops t;
+    p_merge_bytes = stats.ps_merge_bytes;
+    p_wall_ns = measured.sm_wall;
+    p_barrier_ns = measured.sm_barrier;
+    p_class_path_ns = measured.sm_class_path;
+    p_class_total_ns = measured.sm_class_total;
+    p_vt_wall = vt.sm_wall;
+    p_vt_total =
+      Array.fold_left ( +. ) 0.0 vt.sm_class_total -. vt.sm_class_total.(cls_barrier);
+    p_class_path_vt = vt.sm_class_path;
+    p_class_total_vt = vt.sm_class_total;
+    p_top_chunks = top_chunks;
+  }
+
+let domains p = p.p_domains
+let attempts p = p.p_attempts
+let wall_ns p = p.p_wall_ns
+let vt_critpath p = int_of_float p.p_vt_wall
+
+let model_parallelism p =
+  if p.p_vt_wall <= 0.0 then 1.0 else p.p_vt_total /. p.p_vt_wall
+
+let model_speedup p ~seq_cycles =
+  if p.p_vt_wall <= 0.0 then 1.0 else float_of_int seq_cycles /. p.p_vt_wall
+
+let measured_speedup p ~seq_ns =
+  if p.p_wall_ns <= 0.0 then 1.0 else seq_ns /. p.p_wall_ns
+
+let dominant p =
+  let best = ref cls_exec in
+  Array.iteri
+    (fun i v -> if i <> cls_barrier && v > p.p_class_path_ns.(!best) then best := i)
+    p.p_class_path_ns;
+  let len = Array.fold_left ( +. ) 0.0 p.p_class_path_ns in
+  let share = if len <= 0.0 then 0.0 else p.p_class_path_ns.(!best) /. len in
+  (cls_name !best, share)
+
+(* ------------------------------------------------------------------ *)
+(* What-if                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type whatif_row = { wf_target : string; wf_speedups : (int * float) list }
+
+let whatif ?(ks = [ 10; 25; 50; 100 ]) (p : profile) : whatif_row list =
+  let base = p.p_wall_ns in
+  let speedup_with dur =
+    let s = simulate p.p_chains ~doms:p.p_domains ~dur in
+    if s.sm_wall <= 0.0 then 1.0 else base /. s.sm_wall
+  in
+  let class_target c k =
+    let f = 1.0 -. (float_of_int k /. 100.0) in
+    if c = cls_gc then fun s -> (s.sg_ns, s.sg_gc_ns *. f)
+    else fun s ->
+      if s.sg_cls = c then (s.sg_ns *. f, s.sg_gc_ns) else dur_measured s
+  in
+  let chunk_target label k =
+    let f = 1.0 -. (float_of_int k /. 100.0) in
+    fun s ->
+      if s.sg_cls = cls_exec && String.equal s.sg_label label then
+        (s.sg_ns *. f, s.sg_gc_ns *. f)
+      else dur_measured s
+  in
+  let classes =
+    List.filter
+      (fun c -> p.p_class_total_ns.(c) > 0.0)
+      [ cls_exec; cls_interp; cls_merge; cls_gc; cls_claim; cls_steal;
+        cls_backoff ]
+  in
+  let rows =
+    List.map
+      (fun c ->
+        {
+          wf_target = cls_name c;
+          wf_speedups =
+            List.map (fun k -> (k, speedup_with (class_target c k))) ks;
+        })
+      classes
+  in
+  match p.p_top_chunks with
+  | (label, _) :: _ ->
+    rows
+    @ [
+        {
+          wf_target = label;
+          wf_speedups =
+            List.map (fun k -> (k, speedup_with (chunk_target label k))) ks;
+        };
+      ]
+  | [] -> rows
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* alias: the renderers take a [whatif] boolean that shadows it *)
+let whatif_rows = whatif
+
+let to_json ?seq_ns ?seq_cycles ?(whatif = false) ?(extra = []) (p : profile)
+    : Telemetry.Json.t =
+  let module J = Telemetry.Json in
+  let classes_json arr_path arr_tot =
+    J.List
+      (List.map
+         (fun c ->
+           J.Obj
+             [
+               ("class", J.Str (cls_name c));
+               ("path", J.Int (int_of_float arr_path.(c)));
+               ("total", J.Int (int_of_float arr_tot.(c)));
+             ])
+         [ cls_exec; cls_claim; cls_steal; cls_backoff; cls_merge; cls_gc;
+           cls_interp; cls_barrier ])
+  in
+  let model =
+    J.Obj
+      ([
+         ("unit", J.Str "interpreter cycles (merge: replayed bytes / 8)");
+         ("critpath", J.Int (int_of_float p.p_vt_wall));
+         ("total", J.Int (int_of_float p.p_vt_total));
+         ("parallelism", J.Float (model_parallelism p));
+         ("classes", classes_json p.p_class_path_vt p.p_class_total_vt);
+       ]
+      @
+      match seq_cycles with
+      | Some sc ->
+        [
+          ("seq_cycles", J.Int sc);
+          ("speedup", J.Float (model_speedup p ~seq_cycles:sc));
+        ]
+      | None -> [])
+  in
+  let base =
+    ("schema", J.Str "dsexpand-critpath/1")
+    :: extra
+    @ [
+        ("domains", J.Int p.p_domains);
+        ("attempts", J.Int p.p_attempts);
+        ("joins", J.Int p.p_joins);
+        ("chunks", J.Int p.p_chunks);
+        ("stolen", J.Int p.p_stolen);
+        ("steal_empty", J.Int p.p_steal_empty);
+        ("steal_lost", J.Int p.p_steal_lost);
+        ("events", J.Int p.p_events);
+        ("drops", J.Int p.p_drops);
+        ("merge_bytes", J.Int p.p_merge_bytes);
+        ( "schedule",
+          J.List
+            (Array.to_list
+               (Array.mapi
+                  (fun d chunks ->
+                    J.Obj
+                      [
+                        ("domain", J.Int d);
+                        ( "chunks",
+                          J.List (List.map (fun l -> J.Str l) chunks) );
+                      ])
+                  p.p_schedule)) );
+        ("model", model);
+      ]
+  in
+  if not whatif then J.Obj base
+  else begin
+    let dom_cls, dom_share = dominant p in
+    let measured =
+      J.Obj
+        ([
+           ("wall_ns", J.Int (int_of_float p.p_wall_ns));
+           ("barrier_ns", J.Int (int_of_float p.p_barrier_ns));
+           ("classes", classes_json p.p_class_path_ns p.p_class_total_ns);
+           ("dominant", J.Str dom_cls);
+           ("dominant_share", J.Float dom_share);
+           ( "top_chunks",
+             J.List
+               (List.map
+                  (fun (l, ns) ->
+                    J.Obj
+                      [ ("chunk", J.Str l); ("ns", J.Int (int_of_float ns)) ])
+                  p.p_top_chunks) );
+         ]
+        @ (match seq_ns with
+          | Some sn ->
+            [
+              ("seq_ns", J.Int (int_of_float sn));
+              ("speedup", J.Float (measured_speedup p ~seq_ns:sn));
+            ]
+          | None -> [])
+        @
+        match (seq_ns, seq_cycles) with
+        | Some sn, Some sc when sc > 0 && p.p_class_total_vt.(cls_exec) > 0.0
+          ->
+          (* how much slower a parallel-run cycle is than a
+             sequential one: host-level overhead (write logging,
+             observer hooks, allocation pressure) the cycle model
+             does not see *)
+          let par_nspc =
+            (p.p_class_total_ns.(cls_exec) +. p.p_class_total_ns.(cls_gc))
+            /. p.p_class_total_vt.(cls_exec)
+          in
+          let seq_nspc = sn /. float_of_int sc in
+          [
+            ( "exec_inflation",
+              J.Obj
+                [
+                  ("par_ns_per_cycle", J.Float par_nspc);
+                  ("seq_ns_per_cycle", J.Float seq_nspc);
+                  ( "ratio",
+                    J.Float (if seq_nspc > 0.0 then par_nspc /. seq_nspc else 0.0)
+                  );
+                ] );
+          ]
+        | _ -> [])
+    in
+    let wf =
+      J.List
+        (List.map
+           (fun r ->
+             J.Obj
+               [
+                 ("target", J.Str r.wf_target);
+                 ( "speedup",
+                   J.Obj
+                     (List.map
+                        (fun (k, s) -> (string_of_int k, J.Float s))
+                        r.wf_speedups) );
+               ])
+           (whatif_rows p))
+    in
+    J.Obj (base @ [ ("measured", measured); ("whatif", wf) ])
+  end
+
+let to_table ?seq_ns ?seq_cycles ?(whatif = false) (p : profile) : string =
+  let b = Buffer.create 2048 in
+  let pc x total = if total <= 0.0 then 0.0 else 100.0 *. x /. total in
+  Buffer.add_string b
+    (Printf.sprintf
+       "critical path: %d domain(s), %d attempt(s), %d join(s), %d chunk(s), \
+        %d event(s)%s\n"
+       p.p_domains p.p_attempts p.p_joins p.p_chunks p.p_events
+       (if p.p_drops > 0 then Printf.sprintf ", %d drop(s)" p.p_drops else ""));
+  let path_vt_len = Array.fold_left ( +. ) 0.0 p.p_class_path_vt in
+  Buffer.add_string b
+    (Printf.sprintf
+       "model (cycles): critpath=%.0f total=%.0f parallelism=%.2f%s\n"
+       p.p_vt_wall p.p_vt_total (model_parallelism p)
+       (match seq_cycles with
+       | Some sc ->
+         Printf.sprintf " model-speedup=%.2fx" (model_speedup p ~seq_cycles:sc)
+       | None -> ""));
+  Buffer.add_string b
+    (Printf.sprintf "%-9s %14s %7s %14s\n" "class" "path-cycles" "share"
+       "total-cycles");
+  List.iter
+    (fun c ->
+      if p.p_class_total_vt.(c) > 0.0 || p.p_class_path_vt.(c) > 0.0 then
+        Buffer.add_string b
+          (Printf.sprintf "%-9s %14.0f %6.1f%% %14.0f\n" (cls_name c)
+             p.p_class_path_vt.(c)
+             (pc p.p_class_path_vt.(c) path_vt_len)
+             p.p_class_total_vt.(c)))
+    [ cls_exec; cls_claim; cls_steal; cls_backoff; cls_merge; cls_gc;
+      cls_interp; cls_barrier ];
+  if whatif then begin
+    let dom_cls, dom_share = dominant p in
+    let path_len = Array.fold_left ( +. ) 0.0 p.p_class_path_ns in
+    Buffer.add_string b
+      (Printf.sprintf
+         "measured: wall=%.2fms barrier=%.2fms dominant=%s (%.0f%% of path)%s\n"
+         (p.p_wall_ns /. 1e6) (p.p_barrier_ns /. 1e6) dom_cls
+         (100.0 *. dom_share)
+         (match seq_ns with
+         | Some sn ->
+           Printf.sprintf " measured-speedup=%.2fx"
+             (measured_speedup p ~seq_ns:sn)
+         | None -> ""));
+    Buffer.add_string b
+      (Printf.sprintf "%-9s %11s %7s %11s\n" "class" "path-ms" "share"
+         "total-ms");
+    List.iter
+      (fun c ->
+        if p.p_class_total_ns.(c) > 0.0 || p.p_class_path_ns.(c) > 0.0 then
+          Buffer.add_string b
+            (Printf.sprintf "%-9s %11.2f %6.1f%% %11.2f\n" (cls_name c)
+               (p.p_class_path_ns.(c) /. 1e6)
+               (pc p.p_class_path_ns.(c) path_len)
+               (p.p_class_total_ns.(c) /. 1e6)))
+      [ cls_exec; cls_claim; cls_steal; cls_backoff; cls_merge; cls_gc;
+        cls_interp; cls_barrier ];
+    (match (seq_ns, seq_cycles) with
+    | Some sn, Some sc when sc > 0 && p.p_class_total_vt.(cls_exec) > 0.0 ->
+      let par_nspc =
+        (p.p_class_total_ns.(cls_exec) +. p.p_class_total_ns.(cls_gc))
+        /. p.p_class_total_vt.(cls_exec)
+      in
+      let seq_nspc = sn /. float_of_int sc in
+      Buffer.add_string b
+        (Printf.sprintf
+           "exec inflation: %.2f ns/cycle parallel vs %.2f ns/cycle \
+            sequential (%.2fx)\n"
+           par_nspc seq_nspc
+           (if seq_nspc > 0.0 then par_nspc /. seq_nspc else 0.0))
+    | _ -> ());
+    let rows = whatif_rows p in
+    (match rows with
+    | [] -> ()
+    | r0 :: _ ->
+      Buffer.add_string b
+        (Printf.sprintf "what-if (virtual speedup from shrinking by k%%)\n");
+      Buffer.add_string b
+        (Printf.sprintf "%-9s %s\n" "target"
+           (String.concat " "
+              (List.map (fun (k, _) -> Printf.sprintf "%7d%%" k) r0.wf_speedups)));
+      List.iter
+        (fun r ->
+          Buffer.add_string b
+            (Printf.sprintf "%-9s %s\n" r.wf_target
+               (String.concat " "
+                  (List.map
+                     (fun (_, s) -> Printf.sprintf "%7.2fx" s)
+                     r.wf_speedups))))
+        rows)
+  end;
+  Buffer.contents b

@@ -25,8 +25,10 @@ type t
 (** [create ()] makes an empty recorder. [capacity] sizes each
     per-domain ring ({!Ring.default_capacity} by default); [gc]
     (default true) samples [Gc.quick_stat] deltas at chunk
-    boundaries (turn off for byte-identical trace comparisons — GC
-    scheduling is cross-domain and not deterministic). *)
+    boundaries {e and} measures real GC pause time over each attempt
+    through [Runtime_events] (turn off for byte-identical trace
+    comparisons — GC scheduling is cross-domain and not
+    deterministic). *)
 val create : ?capacity:int -> ?gc:bool -> unit -> t
 
 val gc_sampling : t -> bool
@@ -35,10 +37,31 @@ val gc_sampling : t -> bool
     ring per domain and returns them, writer [d] = domain [d]. *)
 val begin_attempt : t -> domains:int -> Ring.t array
 
+(** Called by {!Exec.run} after the attempt's domains have joined:
+    polls the runtime-events cursor and books the GC pause time that
+    accrued since [begin_attempt] against the newest attempt. A no-op
+    when [gc] is off or runtime events are unavailable. *)
+val end_attempt : t -> unit
+
 (** Attempts recorded so far, chronological; each is the per-domain
     ring array of one {!Exec.run}. *)
 val attempts : t -> Ring.t array list
 
+(** Per-attempt, per-domain event lists, chronological. Draining is
+    cached, so this is safe to combine with {!to_chrome} and the
+    analyzers over the same recorder. *)
+val attempt_events : t -> Ring.event list array list
+
+(** Per-attempt ring-overflow drop counts, chronological, indexed by
+    domain. *)
+val attempt_drops : t -> int array list
+
+(** Measured GC/runtime pause ns per attempt (process-wide total —
+    the runtime reports pauses per recycled runtime-domain slot, which
+    cannot be mapped back to logical domains), chronological. *)
+val attempt_gc_ns : t -> int list
+
+val total_gc_ns : t -> int
 val attempt_count : t -> int
 val capacity : t -> int
 
@@ -87,6 +110,9 @@ module Sched_report : sig
     dr_gc_major : int;
     dr_gc_minor_words : int;
     dr_gc_dirty_chunks : int;  (** chunk boundaries with GC activity *)
+    dr_gc_ns : int;
+        (** this domain's estimated share of the measured GC pause
+            time, attributed in proportion to its allocation volume *)
     dr_drops : int;  (** ring overflow drops for this domain *)
   }
 
@@ -104,8 +130,12 @@ module Sched_report : sig
     sr_straggler : int option;
         (** the dominating domain, only when both warning thresholds
             are exceeded *)
+    sr_gc_ns : int;
+        (** measured GC/runtime pause time over all attempts
+            (runtime-events begin/end spans, process-wide) *)
     sr_gc_share : float;
-        (** fraction of chunk boundaries that saw GC activity *)
+        (** [sr_gc_ns] as a fraction of summed per-domain run time,
+            clamped to [0, 1]; 0 when GC measurement is off *)
     sr_warnings : string list;
   }
 

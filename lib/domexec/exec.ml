@@ -604,10 +604,15 @@ let run ?domains ?chunk ?(force = false) ?sup ?trace (prog : Ast.program)
       let st = m.Interp.Machine.st in
       let tel = tels.(d) in
       (* Ring emission: a handful of int stores into this domain's
-         preallocated ring, nothing when tracing is off. *)
+         preallocated ring, nothing when tracing is off. Each event
+         carries the machine's cycle counter as its virtual timestamp,
+         so the critical-path profiler can weigh segments in
+         deterministic interpreter cycles as well as host ns. *)
       let remit k ~a ~b ~c =
         match rings with
-        | Some rs -> Ring.emit rs.(d) k ~ts:(now_ns ()) ~a ~b ~c
+        | Some rs ->
+          Ring.emit rs.(d) k ~ts:(now_ns ()) ~vt:st.Interp.Machine.cycles ~a
+            ~b ~c ()
         | None -> ()
       in
       let gmin = ref 0 and gmaj = ref 0 and gwords = ref 0.0 in
@@ -952,9 +957,12 @@ let run ?domains ?chunk ?(force = false) ?sup ?trace (prog : Ast.program)
                   let tm0 = now_ns () in
                   remit Ring.Merge_begin ~a:(fst slot.sl_key)
                     ~b:(snd slot.sl_key) ~c:0;
+                  let merge_bytes = ref 0 in
                   for i = 0 to slot.sl_trip - 1 do
                     match slot.sl_logs.(i) with
-                    | Some log -> apply_log st.Interp.Machine.mem log
+                    | Some log ->
+                      merge_bytes := !merge_bytes + String.length log;
+                      apply_log st.Interp.Machine.mem log
                     | None -> ()
                   done;
                   Array.iteri
@@ -969,12 +977,15 @@ let run ?domains ?chunk ?(force = false) ?sup ?trace (prog : Ast.program)
                   Array.iter
                     (function
                       | Some frag ->
+                        merge_bytes := !merge_bytes + String.length frag;
                         Buffer.add_string st.Interp.Machine.out frag
                       | None -> ())
                     slot.sl_outs;
                   merges.(d) <- merges.(d) + 1;
+                  (* the byte count gives the profiler a deterministic
+                     weight for the merge segment *)
                   remit Ring.Merge_end ~a:(fst slot.sl_key) ~b:(snd slot.sl_key)
-                    ~c:0;
+                    ~c:!merge_bytes;
                   tel.spans <- ("merge", "merge", tm0, now_ns ()) :: tel.spans;
                   Interp.Machine.set_global_int st Expand.Names.tid 0;
                   active := None));
@@ -995,7 +1006,7 @@ let run ?domains ?chunk ?(force = false) ?sup ?trace (prog : Ast.program)
           (* the poison-pill (or any failure) observation: the last
              event of an aborted domain, which closes its open claim
              for the analyzer *)
-          Ring.emit rs.(d) Ring.Poison ~ts:(now_ns ()) ~a:d ~b:0 ~c:0
+          Ring.emit rs.(d) Ring.Poison ~ts:(now_ns ()) ~a:d ~b:0 ~c:0 ()
         | None -> ());
         Barrier.poison barrier e;
         Error e
@@ -1008,6 +1019,10 @@ let run ?domains ?chunk ?(force = false) ?sup ?trace (prog : Ast.program)
       Array.append [| r0 |] (Array.map Domain.join workers)
     in
     let wall = (Unix.gettimeofday () -. t0) *. 1e9 in
+    (* Close the attempt on the recorder (before any re-raise, so a
+       poisoned attempt's GC accounting survives into the report): the
+       runtime-events cursor is polled here, outside the timed window. *)
+    (match trace with Some tr -> Domtrace.end_attempt tr | None -> ());
     (* Re-raise the first real failure (not barrier poisoning fallout). *)
     Array.iter
       (function

@@ -1,7 +1,7 @@
 (** See the interface for the contract. Layout: one flat int array,
-    five cells per slot (kind code, ts, a, b, c). [head] is the count
-    of events ever written, [tail] the count ever consumed (or
-    dropped); both only grow, and [slot i = (i land mask) * 5].
+    six cells per slot (kind code, ts, vt, a, b, c). [head] is the
+    count of events ever written, [tail] the count ever consumed (or
+    dropped); both only grow, and [slot i = (i land mask) * 6].
 
     Ordering argument for the live-reader case: the writer fills a
     slot's cells strictly before the [Atomic.set] on [head] that
@@ -84,6 +84,7 @@ let kind_name = function
 type event = {
   ev_kind : kind;
   ev_ts : int;
+  ev_vt : int;
   ev_a : int;
   ev_b : int;
   ev_c : int;
@@ -99,7 +100,7 @@ type t = {
   mutable rg_drops : int;  (** writer-private *)
 }
 
-(* 16k slots = 0.66 MB per domain: two orders of magnitude above what
+(* 16k slots = 0.79 MB per domain: two orders of magnitude above what
    a default-chunked run records, small enough that allocating rings
    per attempt adds no measurable GC debt to the traced run (the bench
    gate holds traced runs to ≤5% over untraced). *)
@@ -111,7 +112,7 @@ let create ?(capacity = default_capacity) ~dom () =
   let cap = pow2 1 in
   {
     rg_dom = dom;
-    data = Array.make (cap * 5) 0;
+    data = Array.make (cap * 6) 0;
     cap;
     mask = cap - 1;
     head = Atomic.make 0;
@@ -125,7 +126,7 @@ let written r = Atomic.get r.head
 let drops r = r.rg_drops
 let length r = max 0 (Atomic.get r.head - Atomic.get r.tail)
 
-let emit r k ~ts ~a ~b ~c =
+let emit r k ~ts ?(vt = 0) ~a ~b ~c () =
   let h = Atomic.get r.head in
   (if h - Atomic.get r.tail >= r.cap then begin
      (* full: claim the oldest slot before overwriting it, so a live
@@ -134,26 +135,36 @@ let emit r k ~ts ~a ~b ~c =
      if h - t >= r.cap && Atomic.compare_and_set r.tail t (t + 1) then
        r.rg_drops <- r.rg_drops + 1
    end);
-  let i = (h land r.mask) * 5 in
+  let i = (h land r.mask) * 6 in
   r.data.(i) <- kind_code k;
   r.data.(i + 1) <- ts;
-  r.data.(i + 2) <- a;
-  r.data.(i + 3) <- b;
-  r.data.(i + 4) <- c;
+  r.data.(i + 2) <- vt;
+  r.data.(i + 3) <- a;
+  r.data.(i + 4) <- b;
+  r.data.(i + 5) <- c;
   Atomic.set r.head (h + 1)
 
 let rec read r =
   let t = Atomic.get r.tail in
   if t >= Atomic.get r.head then None
   else begin
-    let i = (t land r.mask) * 5 in
+    let i = (t land r.mask) * 6 in
     let k = r.data.(i)
     and ts = r.data.(i + 1)
-    and a = r.data.(i + 2)
-    and b = r.data.(i + 3)
-    and c = r.data.(i + 4) in
+    and vt = r.data.(i + 2)
+    and a = r.data.(i + 3)
+    and b = r.data.(i + 4)
+    and c = r.data.(i + 5) in
     if Atomic.compare_and_set r.tail t (t + 1) then
-      Some { ev_kind = kind_of_code k; ev_ts = ts; ev_a = a; ev_b = b; ev_c = c }
+      Some
+        {
+          ev_kind = kind_of_code k;
+          ev_ts = ts;
+          ev_vt = vt;
+          ev_a = a;
+          ev_b = b;
+          ev_c = c;
+        }
     else read r (* the writer dropped this slot under us: skip ahead *)
   end
 

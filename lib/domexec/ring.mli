@@ -32,13 +32,20 @@ type kind =
       (** quick_stat delta at a chunk boundary: a=minor collections,
           b=major collections, c=minor words allocated *)
   | Merge_begin  (** a=lid, b=invocation *)
-  | Merge_end  (** a=lid, b=invocation *)
+  | Merge_end  (** a=lid, b=invocation, c=write-log + output bytes replayed *)
 
 val kind_name : kind -> string
 
 type event = {
   ev_kind : kind;
   ev_ts : int;  (** ns since the run's t0 *)
+  ev_vt : int;
+      (** virtual time: the writing domain's interpreter cycle counter
+          at emission. Deterministic under a fixed schedule (it counts
+          interpreted work, not host time), which is what lets the
+          critical-path profiler export byte-identical artifacts while
+          the host-clock [ev_ts] varies run to run. 0 when the emitter
+          has no machine attached. *)
   ev_a : int;
   ev_b : int;
   ev_c : int;
@@ -58,8 +65,9 @@ val dom : t -> int
 (** The actual (rounded) capacity. *)
 val capacity : t -> int
 
-(** Write one event. Writer-only; never blocks, never allocates. *)
-val emit : t -> kind -> ts:int -> a:int -> b:int -> c:int -> unit
+(** Write one event. Writer-only; never blocks, never allocates.
+    [vt] defaults to 0. *)
+val emit : t -> kind -> ts:int -> ?vt:int -> a:int -> b:int -> c:int -> unit -> unit
 
 (** Total events ever written (drops included). *)
 val written : t -> int

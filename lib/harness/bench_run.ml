@@ -37,8 +37,12 @@ type t = {
       (** repeats -> median wall ns of the original program *)
   mutable wall_cache : (int * int, wall_result) Hashtbl.t;
       (** (domains, repeats) -> wall-clock measurement *)
-  mutable sched_cache : (int, Domexec.Domtrace.Sched_report.report) Hashtbl.t;
-      (** domains -> scheduler-health report of one traced run *)
+  mutable trace_cache : (int, Domexec.Domtrace.t * float) Hashtbl.t;
+      (** domains -> (recorder, wall ns) of one traced run; the
+          sched report and the critical-path profile both derive from
+          this single recording *)
+  mutable interp_cycles_cache : int option;
+      (** the sequential original's interpreter cycle count *)
 }
 
 and wall_result = {
@@ -78,7 +82,8 @@ let load (w : Workloads.Workload.t) : t =
     contract_oracle = lazy (Guard.Contract.oracle_of prog []);
     wall_seq_cache = Hashtbl.create 4;
     wall_cache = Hashtbl.create 8;
-    sched_cache = Hashtbl.create 4;
+    trace_cache = Hashtbl.create 4;
+    interp_cycles_cache = None;
   }
 
 let seq (b : t) = Lazy.force b.seq
@@ -322,14 +327,16 @@ let wall ?(repeats = 3) (b : t) ~(domains : int) : wall_result =
     Hashtbl.replace b.wall_cache (domains, repeats) wr;
     wr
 
-(** Scheduler-health report of one traced run on [domains] domains.
-    The run is [force]d so single-core CI hosts still exercise the
-    parallel scheduler, and validated against the same oracle as
-    {!wall}; it is kept separate from the wall measurements so ring
-    instrumentation never contaminates a timed sample. *)
-let sched (b : t) ~(domains : int) : Domexec.Domtrace.Sched_report.report =
-  match Hashtbl.find_opt b.sched_cache domains with
-  | Some r -> r
+(** One traced run on [domains] domains, memoized: the recorder and
+    its wall time. The run is [force]d so single-core CI hosts still
+    exercise the parallel scheduler, and validated against the same
+    oracle as {!wall}; it is kept separate from the wall measurements
+    so ring instrumentation never contaminates a timed sample. Both
+    the sched report and the critical-path profile derive from this
+    single recording, so they always describe the same run. *)
+let traced (b : t) ~(domains : int) : Domexec.Domtrace.t * float =
+  match Hashtbl.find_opt b.trace_cache domains with
+  | Some tw -> tw
   | None ->
     let oracle = Lazy.force b.contract_oracle in
     let plan = b.expanded.Expand.Transform.plan in
@@ -352,6 +359,27 @@ let sched (b : t) ~(domains : int) : Domexec.Domtrace.Sched_report.report =
            "%s: traced domain-run exit code %d differs from oracle %d" name
            r.Domexec.Exec.dx_exit oracle.Guard.Contract.o_exit);
     Guard.Contract.check_finals oracle plan r.Domexec.Exec.dx_machine;
-    let rep = Domexec.Domtrace.Sched_report.analyze tr in
-    Hashtbl.replace b.sched_cache domains rep;
-    rep
+    let tw = (tr, r.Domexec.Exec.dx_wall_ns) in
+    Hashtbl.replace b.trace_cache domains tw;
+    tw
+
+let sched (b : t) ~(domains : int) : Domexec.Domtrace.Sched_report.report =
+  Domexec.Domtrace.Sched_report.analyze (fst (traced b ~domains))
+
+let critpath (b : t) ~(domains : int) : Domexec.Critpath.profile =
+  Domexec.Critpath.analyze (fst (traced b ~domains))
+
+let traced_wall_ns (b : t) ~(domains : int) : float =
+  snd (traced b ~domains)
+
+(** The sequential original's deterministic interpreter cycle count —
+    the numerator of the critical-path model speedup. *)
+let seq_interp_cycles (b : t) : int =
+  match b.interp_cycles_cache with
+  | Some c -> c
+  | None ->
+    let m = Interp.Machine.load b.prog in
+    ignore (Interp.Machine.run m);
+    let c = m.Interp.Machine.st.Interp.Machine.cycles in
+    b.interp_cycles_cache <- Some c;
+    c

@@ -31,7 +31,8 @@ type t = {
   contract_oracle : Guard.Contract.oracle Lazy.t;
   mutable wall_seq_cache : (int, float) Hashtbl.t;
   mutable wall_cache : (int * int, wall_result) Hashtbl.t;
-  mutable sched_cache : (int, Domexec.Domtrace.Sched_report.report) Hashtbl.t;
+  mutable trace_cache : (int, Domexec.Domtrace.t * float) Hashtbl.t;
+  mutable interp_cycles_cache : int option;
 }
 
 (** A wall-clock measurement of the domain executor vs the sequential
@@ -113,9 +114,24 @@ val wall_seq : ?repeats:int -> t -> float
     (domains, repeats). *)
 val wall : ?repeats:int -> t -> domains:int -> wall_result
 
-(** Scheduler-health report of one traced, oracle-validated domain run
-    ([force]d, so single-core CI hosts still exercise the parallel
-    scheduler). Kept separate from {!wall}'s samples so ring
+(** One traced, oracle-validated domain run ([force]d, so single-core
+    CI hosts still exercise the parallel scheduler): the recorder and
+    the run's wall time. Kept separate from {!wall}'s samples so ring
     instrumentation never contaminates a timed measurement. Memoized
-    per domain count. *)
+    per domain count; {!sched} and {!critpath} both derive from this
+    single recording. *)
+val traced : t -> domains:int -> Domexec.Domtrace.t * float
+
+(** Scheduler-health report of the {!traced} run. *)
 val sched : t -> domains:int -> Domexec.Domtrace.Sched_report.report
+
+(** Critical-path profile of the {!traced} run. *)
+val critpath : t -> domains:int -> Domexec.Critpath.profile
+
+(** Wall time of the {!traced} run (instrumented — use {!wall} for
+    clean timing). *)
+val traced_wall_ns : t -> domains:int -> float
+
+(** Interpreter cycle count of one sequential run of the original
+    program (deterministic; memoized). *)
+val seq_interp_cycles : t -> int

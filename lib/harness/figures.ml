@@ -353,6 +353,44 @@ let domtrace (benches : Bench_run.t list) : string =
         ]
       rows
 
+(** Critical-path summary per (workload, domain count): how much of
+    the cycle-model speedup the wall clock actually kept, which
+    segment class dominates the measured critical path, and how much
+    slower a parallel interpreter cycle ran than a sequential one.
+    The full per-class and what-if detail is [dsexpand
+    --critical-path]'s artifact; this table is the cross-workload
+    digest. *)
+let critpath (benches : Bench_run.t list) : string =
+  let counts = List.filter (fun d -> d > 1 && d <= 4) Bench_run.domain_counts in
+  let rows =
+    List.concat_map
+      (fun b ->
+        let seq_cycles = Bench_run.seq_interp_cycles b in
+        let seq_ns = Bench_run.wall_seq b in
+        List.map
+          (fun d ->
+            let p = Bench_run.critpath b ~domains:d in
+            let dom_cls, dom_share = Domexec.Critpath.dominant p in
+            let measured = Domexec.Critpath.measured_speedup p ~seq_ns in
+            let model =
+              Domexec.Critpath.model_speedup p ~seq_cycles
+            in
+            {
+              Tables.cp_workload = name b;
+              cp_domains = d;
+              cp_model_speedup = model;
+              cp_measured_speedup = measured;
+              cp_dominant = dom_cls;
+              cp_dominant_share = dom_share;
+              cp_exec_inflation =
+                (if measured > 0.0 then model /. measured else 0.0);
+            })
+          counts)
+      benches
+  in
+  "Critpath: cycle-model vs measured critical path (traced runs)\n"
+  ^ Tables.critpath_table rows
+
 (* thunked so that selecting a subset only runs what it needs *)
 let all (benches : Bench_run.t list) : (string * (unit -> string)) list =
   [
@@ -370,4 +408,5 @@ let all (benches : Bench_run.t list) : (string * (unit -> string)) list =
     ("heatmap", fun () -> heatmap benches ~threads:4);
     ("domexec", fun () -> domexec benches);
     ("domtrace", fun () -> domtrace benches);
+    ("critpath", fun () -> critpath benches);
   ]

@@ -1,0 +1,71 @@
+(** MiniC static types.
+
+    The type language mirrors the subset of C that the PLDI'13 expansion
+    rules (Tables 1-3 of the paper) are defined over: sized integers,
+    floats, pointers, fixed-size arrays, named structs and function types.
+    Struct bodies live in a separate {!composite} environment so that
+    recursive structures (linked lists, trees) are expressible. *)
+
+type ikind =
+  | IChar  (** 1 byte *)
+  | IShort  (** 2 bytes *)
+  | IInt  (** 4 bytes *)
+  | ILong  (** 8 bytes *)
+[@@deriving show { with_path = false }, eq]
+
+type fkind = FFloat  (** 4 bytes *) | FDouble  (** 8 bytes *)
+[@@deriving show { with_path = false }, eq]
+
+type ty =
+  | Tvoid
+  | Tint of ikind
+  | Tfloat of fkind
+  | Tptr of ty
+  | Tarray of ty * int  (** element type and (constant) element count *)
+  | Tstruct of string  (** reference to a composite by tag *)
+  | Tfun of ty * ty list  (** return type, parameter types *)
+[@@deriving show { with_path = false }, eq]
+
+(** A struct definition: tag and ordered fields. *)
+type composite = { cname : string; cfields : (string * ty) list }
+[@@deriving show { with_path = false }, eq]
+
+type composite_env = (string, composite) Hashtbl.t
+
+val ikind_size : ikind -> int
+val fkind_size : fkind -> int
+
+(** Look up a struct by tag; a missing tag is a located error. *)
+val find_composite : composite_env -> Loc.t -> string -> composite
+
+(** Byte size of a type. Structs are laid out field-after-field with
+    alignment padding so that recasting tricks (e.g. bzip2's [zptr]
+    short/int recast) behave as they would under a real ABI. *)
+val sizeof : composite_env -> Loc.t -> ty -> int
+
+val alignof : composite_env -> Loc.t -> ty -> int
+
+(** [roundup off align] is [off] rounded up to a multiple of [align]. *)
+val roundup : int -> int -> int
+
+(** Byte offset of field [f] within struct [tag], plus the field type. *)
+val field_offset : composite_env -> Loc.t -> string -> string -> int * ty
+
+val is_integer : ty -> bool
+val is_float : ty -> bool
+val is_pointer : ty -> bool
+val is_arith : ty -> bool
+val is_scalar : ty -> bool
+
+(** The type an expression of type [t] decays to when used as a value:
+    arrays become pointers to their element type (C array decay). *)
+val decay : ty -> ty
+
+(** Pointee of a pointer-or-array type. *)
+val pointee : Loc.t -> ty -> ty
+
+(** Integer promotion: everything narrower than int computes as int. *)
+val promote_ikind : ikind -> ikind
+
+(** Usual arithmetic conversions for a binary operator. *)
+val arith_join : Loc.t -> ty -> ty -> ty

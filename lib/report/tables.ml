@@ -180,3 +180,37 @@ let ladder_table (rows : ladder_row list) : string =
            r.lr_detail;
          ])
        rows)
+
+(** One row of the critical-path report: a workload's schedule at a
+    domain count, its model-vs-measured speedup gap and the dominant
+    wall-clock segment the profiler blames for it. *)
+type critpath_row = {
+  cp_workload : string;
+  cp_domains : int;
+  cp_model_speedup : float;  (** cycle-model speedup of the schedule *)
+  cp_measured_speedup : float;  (** seq wall / critical-path length *)
+  cp_dominant : string;  (** dominant on-path class *)
+  cp_dominant_share : float;  (** its share of the critical path *)
+  cp_exec_inflation : float;
+      (** parallel exec ns/cycle over sequential ns/cycle *)
+}
+
+let critpath_table (rows : critpath_row list) : string =
+  render
+    ~header:
+      [
+        "workload"; "domains"; "model"; "measured"; "dominant"; "share";
+        "inflation";
+      ]
+    (List.map
+       (fun r ->
+         [
+           r.cp_workload;
+           string_of_int r.cp_domains;
+           fx r.cp_model_speedup ^ "x";
+           fx r.cp_measured_speedup ^ "x";
+           r.cp_dominant;
+           pct r.cp_dominant_share;
+           fx r.cp_exec_inflation ^ "x";
+         ])
+       rows)

@@ -81,3 +81,21 @@ type ladder_row = {
 (** Render ladder outcomes (the robustness counterpart of the paper's
     performance tables): one row per (workload, fault) configuration. *)
 val ladder_table : ladder_row list -> string
+
+(** One row of the critical-path report ([experiments critpath] and
+    the bench summary): the model-vs-measured speedup gap of one
+    (workload, domain count) schedule and the dominant wall-clock
+    segment the profiler blames for it. *)
+type critpath_row = {
+  cp_workload : string;
+  cp_domains : int;
+  cp_model_speedup : float;  (** cycle-model speedup of the schedule *)
+  cp_measured_speedup : float;  (** seq wall / critical-path length *)
+  cp_dominant : string;  (** dominant on-path class *)
+  cp_dominant_share : float;  (** its share of the critical path *)
+  cp_exec_inflation : float;
+      (** parallel exec ns/cycle over sequential ns/cycle; > 1 means
+          the same interpreted work ran slower per cycle in parallel *)
+}
+
+val critpath_table : critpath_row list -> string

@@ -40,7 +40,7 @@ let ring_laws =
       let r = Ring.create ~capacity:cap_req ~dom:3 () in
       let cap = Ring.capacity r in
       List.iteri
-        (fun i (k, a, b) -> Ring.emit r kinds.(k) ~ts:i ~a ~b ~c:(a + b))
+        (fun i (k, a, b) -> Ring.emit r kinds.(k) ~ts:i ~vt:(i * 2) ~a ~b ~c:(a + b) ())
         evs;
       let n = List.length evs in
       let kept = Ring.drain r in
@@ -57,6 +57,7 @@ let ring_laws =
       && List.for_all2
            (fun (i, (k, a, b)) (ev : Ring.event) ->
              ev.Ring.ev_ts = i
+             && ev.ev_vt = i * 2
              && ev.ev_kind = kinds.(k)
              && ev.ev_a = a && ev.ev_b = b
              && ev.ev_c = a + b)
@@ -67,6 +68,29 @@ let ring_laws =
 
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest [ ring_laws ]
+
+(* Forced overflow, deterministically: 100 events into a capacity-16
+   ring keep exactly the newest 16 in emission order (fields intact,
+   including the virtual timestamp), count the other 84 as drops, and
+   leave the written total untouched. *)
+let forced_overflow () =
+  let r = Ring.create ~capacity:16 ~dom:0 () in
+  for i = 0 to 99 do
+    Ring.emit r Ring.Heartbeat ~ts:i ~vt:(i * 3) ~a:i ~b:(i + 1) ~c:(i + 2) ()
+  done;
+  Alcotest.(check int) "capacity honored" 16 (Ring.capacity r);
+  Alcotest.(check int) "written counts every emit" 100 (Ring.written r);
+  Alcotest.(check int) "drops counted exactly" 84 (Ring.drops r);
+  let kept = Ring.drain r in
+  Alcotest.(check int) "newest capacity-many kept" 16 (List.length kept);
+  List.iteri
+    (fun j (ev : Ring.event) ->
+      Alcotest.(check int) "newest kept, in order" (84 + j) ev.Ring.ev_ts;
+      Alcotest.(check int) "vt survives overflow" ((84 + j) * 3) ev.ev_vt;
+      Alcotest.(check int) "payload survives overflow" (84 + j + 2) ev.ev_c)
+    kept;
+  Alcotest.(check int) "drain does not change drops" 84 (Ring.drops r);
+  Alcotest.(check int) "ring empty after drain" 0 (Ring.length r)
 
 (* --- live reader racing the writer -------------------------------- *)
 
@@ -80,7 +104,7 @@ let live_stress () =
   let writer =
     Domain.spawn (fun () ->
         for i = 0 to n - 1 do
-          Ring.emit r Ring.Heartbeat ~ts:i ~a:i ~b:(i * 2) ~c:(i * 3)
+          Ring.emit r Ring.Heartbeat ~ts:i ~a:i ~b:(i * 2) ~c:(i * 3) ()
         done)
   in
   let read = ref 0 in
@@ -232,7 +256,34 @@ let tiny_capacity () =
     go 0
   in
   Alcotest.(check bool) "drop warning raised" true
-    (List.exists (fun w -> contains w "dropped") rep.SR.sr_warnings)
+    (List.exists (fun w -> contains w "dropped") rep.SR.sr_warnings);
+  (* drop-oldest can evict a span's B while its E survives (and can
+     sever claim/start/finish pairs); the exporter must still produce
+     a well-formed, balanced Chrome trace from what remains *)
+  check_balance "overflowed ring"
+    (Telemetry.Chrome_trace.export (Domtrace.to_chrome tr))
+
+(* --- gc accounting -------------------------------------------------- *)
+
+(* gc_share regression: the report's share must be a genuine ratio of
+   measured pause time to summed run time — the field used to be a
+   dirty-pages-per-chunk proxy that pinned at 1.0 on every workload.
+   An honest md5 run spends well under half its time in the collector,
+   and the per-domain attribution must sum to the measured total. *)
+let gc_share_sane () =
+  let tr = traced_run (Lazy.force md5) in
+  let rep = SR.analyze tr in
+  Alcotest.(check bool)
+    (Printf.sprintf "gc_share %.3f is a ratio, not the degenerate 1.0"
+       rep.SR.sr_gc_share)
+    true
+    (rep.SR.sr_gc_share >= 0.0 && rep.SR.sr_gc_share < 0.9);
+  let sum =
+    Array.fold_left (fun a d -> a + d.SR.dr_gc_ns) 0 rep.SR.sr_domains
+  in
+  Alcotest.(check int) "per-domain gc_ns sums to the total" rep.SR.sr_gc_ns
+    sum;
+  Alcotest.(check bool) "gc_ns never negative" true (rep.SR.sr_gc_ns >= 0)
 
 (* --- straggler identification under an injected stall -------------- *)
 
@@ -283,7 +334,12 @@ let straggler () =
 let () =
   Alcotest.run "domtrace"
     [
-      ("ring-laws", qcheck_cases);
+      ( "ring-laws",
+        qcheck_cases
+        @ [
+            Alcotest.test_case "forced overflow keeps newest, counts drops"
+              `Quick forced_overflow;
+          ] );
       ( "ring-live",
         [ Alcotest.test_case "2-domain stress" `Quick live_stress ] );
       ( "chrome",
@@ -295,6 +351,11 @@ let () =
       ( "capacity",
         [ Alcotest.test_case "tiny ring drops and warns" `Quick tiny_capacity ]
       );
+      ( "gc",
+        [
+          Alcotest.test_case "gc_share is a measured ratio" `Slow
+            gc_share_sane;
+        ] );
       ( "straggler",
         [ Alcotest.test_case "domain-stall victim flagged" `Slow straggler ]
       );
